@@ -1,0 +1,74 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure from the paper's evaluation
+(§7) at laptop scale: node counts, client counts, and durations are scaled
+down (the exact factors are recorded in EXPERIMENTS.md), and all times are
+*virtual* (simulated) seconds, so results are deterministic for a given
+seed and independent of host speed. Absolute numbers therefore differ from
+the paper; the assertions check the paper's qualitative claims — who wins,
+by roughly what factor, where trends bend.
+
+Run with: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.baselines.dynamodb import DynamoDBService
+from repro.core import BokiCluster, BokiConfig
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence[Any]]) -> None:
+    """Render a paper-style results table to stdout."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    print()
+
+
+def ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def kops(per_second: float) -> str:
+    return f"{per_second / 1e3:.1f}K"
+
+
+def make_cluster(
+    num_function_nodes: int = 4,
+    num_storage_nodes: int = 4,
+    num_sequencer_nodes: int = 3,
+    num_logs: int = 1,
+    index_engines_per_log: Optional[int] = None,
+    config: Optional[BokiConfig] = None,
+    seed: int = 0,
+    workers_per_node: int = 64,
+    with_dynamodb: bool = False,
+) -> BokiCluster:
+    cluster = BokiCluster(
+        num_function_nodes=num_function_nodes,
+        num_storage_nodes=num_storage_nodes,
+        num_sequencer_nodes=num_sequencer_nodes,
+        num_logs=num_logs,
+        index_engines_per_log=index_engines_per_log,
+        config=config,
+        seed=seed,
+        workers_per_node=workers_per_node,
+    )
+    if with_dynamodb:
+        DynamoDBService(cluster.env, cluster.net, cluster.streams)
+    cluster.boot()
+    return cluster
+
+
+def run_once(benchmark, fn):
+    """Wrap a whole experiment as a single pytest-benchmark round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Shared machinery for the Figure 11 workflow benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from benchmarks._common import make_cluster
+from repro.baselines.beldi import BeldiRuntime
+from repro.baselines.unsafe import UnsafeRuntime
+from repro.libs.bokiflow import BokiFlowRuntime
+from repro.workloads.harness import RunResult, run_open_loop
+
+SYSTEMS = {
+    "Unsafe baseline": UnsafeRuntime,
+    "Beldi": BeldiRuntime,
+    "BokiFlow": BokiFlowRuntime,
+}
+
+
+def latency_vs_throughput(
+    register: Callable,
+    make_request: Callable,
+    rates: List[float],
+    duration: float = 0.4,
+    num_function_nodes: int = 8,
+    seed: int = 0,
+) -> Dict[str, List[RunResult]]:
+    """Open-loop sweep: for each system and offered rate, run the workflow
+    workload on a fresh cluster and record end-to-end request latency."""
+    out: Dict[str, List[RunResult]] = {}
+    for system_name, runtime_class in SYSTEMS.items():
+        results = []
+        for rate in rates:
+            cluster = make_cluster(
+                num_function_nodes=num_function_nodes,
+                num_storage_nodes=3,
+                index_engines_per_log=num_function_nodes,
+                with_dynamodb=True,
+                workers_per_node=32,
+                seed=seed,
+            )
+            runtime = runtime_class(cluster)
+            frontend = register(runtime)
+            rng = cluster.streams.stream(f"wl-{system_name}-{rate}")
+
+            def make_op(i, _rng=rng, _runtime=runtime, _frontend=frontend):
+                request = make_request(_rng, i)
+                return _runtime.start_workflow(_frontend, request, book_id=i % 16)
+
+            results.append(
+                run_open_loop(
+                    cluster.env, make_op, rate=rate, duration=duration,
+                    rng=cluster.streams.stream("arrivals"),
+                )
+            )
+        out[system_name] = results
+    return out
+
+
+def print_sweep(title: str, rates: List[float], results: Dict[str, List[RunResult]]) -> None:
+    from benchmarks._common import ms, print_table
+
+    rows = []
+    for system_name, system_results in results.items():
+        for metric, fn in [("median", RunResult.median_latency), ("p99", RunResult.p99_latency)]:
+            row = [f"{system_name} ({metric})"]
+            for result in system_results:
+                row.append(ms(fn(result)) if result.latencies.count else "-")
+            rows.append(row)
+    print_table(title, ["", *(f"{r:.0f} rps" for r in rates)], rows)

@@ -1,0 +1,63 @@
+"""Ablation: the primary sequencer's metalog batching interval.
+
+Not a paper table — DESIGN.md calls this out as the central latency/
+throughput knob of Scalog-style ordering (§4.3): the primary appends the
+global progress vector every ``metalog_interval``. Shorter intervals cut
+append latency (records wait less to be ordered) at the cost of more
+metalog entries and broadcasts; throughput is insensitive until the
+interval dwarfs the replication RTT.
+"""
+
+import pytest
+
+from benchmarks._common import make_cluster, ms, print_table, run_once
+from repro.core import BokiConfig
+from repro.workloads.microbench import append_only
+
+INTERVALS = [0.1e-3, 0.3e-3, 1.0e-3, 3.0e-3]
+CLIENTS = 32
+DURATION = 0.2
+
+
+def run_interval(interval):
+    config = BokiConfig(metalog_interval=interval, progress_interval=min(interval, 0.3e-3))
+    cluster = make_cluster(
+        num_function_nodes=4, num_storage_nodes=4, config=config, workers_per_node=16
+    )
+    result = append_only(cluster, num_clients=CLIENTS, duration=DURATION)
+    entries = sum(s.entries_appended for s in cluster.sequencer_nodes)
+    return result, entries
+
+
+def experiment():
+    return {interval: run_interval(interval) for interval in INTERVALS}
+
+
+@pytest.mark.benchmark(group="ablation-metalog")
+def test_ablation_metalog_batching_interval(benchmark):
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for interval, (result, entries) in results.items():
+        rows.append(
+            [
+                f"{interval * 1e3:.1f}ms",
+                ms(result.median_latency()),
+                ms(result.p99_latency()),
+                f"{result.throughput / 1e3:.1f}K",
+                str(entries),
+            ]
+        )
+    print_table(
+        "Ablation: metalog batching interval",
+        ["interval", "append p50", "append p99", "t-put", "metalog entries"],
+        rows,
+    )
+
+    # Longer batching -> strictly higher append latency.
+    medians = [results[i][0].median_latency() for i in INTERVALS]
+    assert medians == sorted(medians)
+    # The batching interval dominates latency at the long end.
+    assert results[INTERVALS[-1]][0].median_latency() > 3 * results[INTERVALS[0]][0].median_latency()
+    # Fewer metalog entries with coarser batching.
+    assert results[INTERVALS[-1]][1] < results[INTERVALS[0]][1]

@@ -1,0 +1,49 @@
+"""Figure 11b: the travel-reservation workload, latency vs throughput (§7.2).
+
+Paper: at 500 rps BokiFlow's median latency is 18 ms — 4.3x lower than
+Beldi's 78 ms; exactly-once + transactions cost 1.8x over the unsafe
+baseline.
+"""
+
+import pytest
+
+from benchmarks._common import run_once
+from benchmarks._workflow_common import latency_vs_throughput, print_sweep
+from repro.workloads.travel import register_travel_workflows, reserve_request
+
+RATES = [100.0, 200.0, 400.0]
+
+
+def experiment():
+    return latency_vs_throughput(
+        register=lambda runtime: register_travel_workflows(
+            runtime, prefix=f"tr-{runtime.__class__.__name__}"
+        ),
+        make_request=reserve_request,
+        rates=RATES,
+    )
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_travel_reservation_workload(benchmark):
+    results = run_once(benchmark, experiment)
+    print_sweep("Figure 11b: travel reservation workload", RATES, results)
+
+    mid = 1
+    unsafe = results["Unsafe baseline"][mid].median_latency()
+    beldi = results["Beldi"][mid].median_latency()
+    boki = results["BokiFlow"][mid].median_latency()
+
+    # Claim 1: BokiFlow beats Beldi by a wide margin (paper: 4.3x; our
+    # substrate lands ~2.4x because its LogBook appends are relatively
+    # more expensive than the paper's — see EXPERIMENTS.md).
+    assert beldi > 2.0 * boki
+    # Claim 2: unsafe < BokiFlow (fault tolerance isn't free; paper 1.8x).
+    assert unsafe < boki
+    # Claim 3: ordering at every rate.
+    for i in range(len(RATES)):
+        assert (
+            results["Unsafe baseline"][i].median_latency()
+            < results["BokiFlow"][i].median_latency()
+            < results["Beldi"][i].median_latency()
+        )

@@ -1,0 +1,74 @@
+"""Table 2a: single-LogBook append throughput scaling (§7.1).
+
+Paper: append-only workload, 1 KB records; throughput scales from 130.8
+KOp/s (320 functions / 4 storage nodes) to 1157.8 KOp/s (2560 / 32), and
+nmeta=5 performs like nmeta=3.
+
+Scaled here: concurrency x storage-node pairs (40/2, 80/4, 160/8); the
+claims checked are near-linear scaling with storage nodes and nmeta
+insensitivity.
+"""
+
+import pytest
+
+from benchmarks._common import kops, make_cluster, ms, print_table, run_once
+from repro.core import BokiConfig
+from repro.workloads.microbench import append_only
+
+SWEEP = [(40, 4), (80, 8), (160, 16)]
+DURATION = 0.15
+
+
+def run_cell(num_clients: int, num_storage: int, nmeta: int) -> float:
+    config = BokiConfig(nmeta=nmeta)
+    cluster = make_cluster(
+        num_function_nodes=4,
+        num_storage_nodes=num_storage,
+        num_sequencer_nodes=nmeta,
+        config=config,
+        workers_per_node=max(16, num_clients // 4),
+    )
+    result = append_only(cluster, num_clients=num_clients, duration=DURATION)
+    return result
+
+
+def experiment():
+    table = {}
+    for nmeta in (3, 5):
+        for num_clients, num_storage in SWEEP:
+            result = run_cell(num_clients, num_storage, nmeta)
+            table[(nmeta, num_clients, num_storage)] = result
+    return table
+
+
+@pytest.mark.benchmark(group="table2a")
+def test_table2a_append_throughput_scaling(benchmark):
+    table = run_once(benchmark, experiment)
+
+    rows = []
+    for nmeta in (3, 5):
+        row = [f"nmeta={nmeta}"]
+        for num_clients, num_storage in SWEEP:
+            row.append(kops(table[(nmeta, num_clients, num_storage)].throughput))
+        rows.append(row)
+    headers = ["", *(f"{c}fn/{s}S" for c, s in SWEEP)]
+    print_table("Table 2a: single-LogBook append throughput", headers, rows)
+    base = table[(3, *SWEEP[0])]
+    print(
+        f"latency at smallest scale: median {ms(base.median_latency())}, "
+        f"p99 {ms(base.p99_latency())}"
+    )
+
+    # Claim 1: throughput scales with storage nodes (>=2.5x from 2S to 8S).
+    t_small = table[(3, *SWEEP[0])].throughput
+    t_large = table[(3, *SWEEP[-1])].throughput
+    assert t_large > 2.5 * t_small
+
+    # Claim 2: nmeta=5 performs like nmeta=3 (within 25%) at every scale.
+    for cell in SWEEP:
+        t3 = table[(3, *cell)].throughput
+        t5 = table[(5, *cell)].throughput
+        assert abs(t5 - t3) / t3 < 0.25
+
+    # Claim 3: appends stay in the low-millisecond class.
+    assert base.median_latency() < 5e-3

@@ -1,0 +1,66 @@
+"""Table 2b: virtualizing LogBooks over physical logs (§7.1).
+
+Paper: aggregate append throughput with 1/2/4 physical logs virtualizing
+100 or 100K LogBooks; throughput scales with physical logs and is
+insensitive to LogBook density (122.3 -> 446.9 KOp/s at 100K books).
+
+Scaled: 1/2/4 logs x {100, 10000} books, resources added linearly with
+logs (4 storage + 32 clients per log, as the paper adds nodes linearly).
+"""
+
+import pytest
+
+from benchmarks._common import kops, make_cluster, print_table, run_once
+from repro.workloads.microbench import append_only
+
+LOG_COUNTS = [1, 2, 4]
+BOOK_COUNTS = [100, 10_000]
+DURATION = 0.15
+
+
+def run_cell(num_logs: int, num_books: int):
+    cluster = make_cluster(
+        num_function_nodes=4,
+        num_storage_nodes=4 * num_logs,
+        num_logs=num_logs,
+        workers_per_node=16 * num_logs,
+    )
+    return append_only(
+        cluster,
+        num_clients=32 * num_logs,
+        duration=DURATION,
+        book_ids=list(range(num_books)),
+    )
+
+
+def experiment():
+    return {
+        (num_logs, num_books): run_cell(num_logs, num_books)
+        for num_logs in LOG_COUNTS
+        for num_books in BOOK_COUNTS
+    }
+
+
+@pytest.mark.benchmark(group="table2b")
+def test_table2b_logbook_virtualization(benchmark):
+    table = run_once(benchmark, experiment)
+
+    rows = [
+        [f"{books} LogBooks", *(kops(table[(logs, books)].throughput) for logs in LOG_COUNTS)]
+        for books in BOOK_COUNTS
+    ]
+    print_table(
+        "Table 2b: aggregate throughput over physical logs",
+        ["", *(f"{n}PhyLog" for n in LOG_COUNTS)],
+        rows,
+    )
+
+    # Claim 1: throughput scales with physical logs (>=2.5x from 1 to 4).
+    for books in BOOK_COUNTS:
+        assert table[(4, books)].throughput > 2.5 * table[(1, books)].throughput
+
+    # Claim 2: density-insensitive — 10K books within 15% of 100 books.
+    for logs in LOG_COUNTS:
+        t_low = table[(logs, 100)].throughput
+        t_high = table[(logs, 10_000)].throughput
+        assert abs(t_high - t_low) / t_low < 0.15

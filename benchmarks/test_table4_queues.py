@@ -1,0 +1,104 @@
+"""Table 4: BokiQueue vs Amazon SQS vs Apache Pulsar (§7.4).
+
+Paper (8 function / 3 storage nodes; P:C ratios 1:4, 4:1, 1:1):
+
+- BokiQueue: 1.66-2.14x higher throughput than SQS, up to 15x lower
+  latency (SQS builds huge queueing delays when producer-heavy);
+- vs Pulsar: 1.06-1.23x higher throughput, up to 2.0x lower latency at
+  light load.
+"""
+
+import pytest
+
+from benchmarks._common import make_cluster, ms, print_table, run_once
+from repro.baselines.pulsar import PulsarBroker
+from repro.baselines.sqs import SQSService
+from repro.workloads.queueing import (
+    BokiQueueBackend,
+    PulsarBackend,
+    SQSBackend,
+    run_queue_workload,
+)
+
+#: (producers, consumers) — scaled from the paper's 16P/64C .. 256P/256C.
+CONFIGS = [(4, 16), (16, 4), (16, 16)]
+DURATION = 0.3
+NUM_SHARDS = 8
+
+
+def run_backend(name, producers, consumers):
+    cluster = make_cluster(
+        num_function_nodes=8, num_storage_nodes=3, index_engines_per_log=8,
+        workers_per_node=32,
+    )
+    # CSMR: one consumer per shard — shard/partition count tracks the
+    # consumer count (a queue with unconsumed shards would strand data).
+    shards = min(NUM_SHARDS, consumers)
+    if name == "SQS":
+        SQSService(cluster.env, cluster.net, cluster.streams)
+        backend = SQSBackend(cluster)
+    elif name == "Pulsar":
+        brokers = [
+            PulsarBroker(cluster.env, cluster.net, cluster.streams, f"broker-{i}")
+            for i in range(4)
+        ]
+        backend = PulsarBackend(
+            cluster, [b.node.name for b in brokers], num_partitions=shards
+        )
+    else:
+        backend = BokiQueueBackend(cluster, num_shards=shards)
+    throughput, delivery = run_queue_workload(
+        cluster.env, backend, producers, consumers, DURATION
+    )
+    return throughput, delivery
+
+
+def experiment():
+    out = {}
+    for producers, consumers in CONFIGS:
+        for system in ("SQS", "Pulsar", "Boki"):
+            out[(producers, consumers, system)] = run_backend(system, producers, consumers)
+    return out
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_queue_comparison(benchmark):
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for producers, consumers in CONFIGS:
+        row = [f"{producers}P/{consumers}C"]
+        for system in ("SQS", "Pulsar", "Boki"):
+            throughput, delivery = results[(producers, consumers, system)]
+            row.append(
+                f"{throughput / 1e3:.1f}K  {ms(delivery.median())} ({ms(delivery.p99())})"
+            )
+        rows.append(row)
+    print_table(
+        "Table 4: queue throughput & delivery latency median (p99)",
+        ["P/C", "SQS", "Pulsar", "Boki"],
+        rows,
+    )
+
+    for producers, consumers in CONFIGS:
+        sqs_tput, sqs_lat = results[(producers, consumers, "SQS")]
+        pulsar_tput, pulsar_lat = results[(producers, consumers, "Pulsar")]
+        boki_tput, boki_lat = results[(producers, consumers, "Boki")]
+        # Claim 1: BokiQueue's throughput beats SQS everywhere (paper:
+        # 1.66-2.14x).
+        assert boki_tput > 1.3 * sqs_tput
+        # Claim 2: BokiQueue at least matches Pulsar's throughput (paper:
+        # 1.06-1.23x).
+        assert boki_tput > 0.95 * pulsar_tput
+
+    # Claim 3: producer-heavy SQS suffers massive queueing delay (paper:
+    # 33.9-99.8 ms vs Boki's ~6.6 ms — up to 15x).
+    _, sqs_heavy = results[(16, 4, "SQS")]
+    _, boki_heavy = results[(16, 4, "Boki")]
+    assert sqs_heavy.median() > 3 * boki_heavy.median()
+
+    # Claim 4: at light load BokiQueue's delivery latency beats Pulsar's
+    # (paper: up to 2.0x lower).
+    _, pulsar_light = results[(4, 16, "Pulsar")]
+    _, boki_light = results[(4, 16, "Boki")]
+    assert boki_light.median() < pulsar_light.median()

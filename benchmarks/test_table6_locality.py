@@ -1,0 +1,57 @@
+"""Table 6: locality impact from LogBook engines (§7.5).
+
+Paper: limiting the fraction of Retwis reads served by local LogBook
+engines to 25/50/75/100% yields 0.77x/0.84x/0.93x/1.00x of maximum
+throughput — remote engines cost, but the degradation is moderate.
+"""
+
+import pytest
+
+from benchmarks._common import make_cluster, print_table, run_once
+from benchmarks._retwis_common import run_retwis_bokistore
+
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+CLIENTS = 48
+DURATION = 0.25
+NUM_USERS = 60
+
+
+def run_fraction(fraction):
+    cluster = make_cluster(
+        num_function_nodes=8, num_storage_nodes=3, index_engines_per_log=4,
+        workers_per_node=24,
+    )
+    return run_retwis_bokistore(
+        cluster,
+        num_clients=CLIENTS,
+        duration=DURATION,
+        num_users=NUM_USERS,
+        local_fraction=fraction,
+    )
+
+
+def experiment():
+    return {fraction: run_fraction(fraction) for fraction in FRACTIONS}
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_engine_locality(benchmark):
+    results = run_once(benchmark, experiment)
+
+    best = results[1.0].throughput
+    rows = [
+        ["Throughput (Op/s)", *(f"{results[f].throughput:,.0f}" for f in FRACTIONS)],
+        ["Normalized", *(f"{results[f].throughput / best:.2f}x" for f in FRACTIONS)],
+    ]
+    print_table(
+        "Table 6: throughput vs fraction of local reads",
+        ["", *(f"{int(f * 100)}% local" for f in FRACTIONS)],
+        rows,
+    )
+
+    # Claim 1: throughput increases monotonically with locality.
+    tputs = [results[f].throughput for f in FRACTIONS]
+    assert all(tputs[i] <= tputs[i + 1] * 1.03 for i in range(len(tputs) - 1))
+    # Claim 2: the penalty at 25% locality is moderate (paper: 0.77x;
+    # allow 0.5-0.95x).
+    assert 0.5 < results[0.25].throughput / best < 0.97

@@ -1,0 +1,70 @@
+"""Fault-tolerance demo: crash the primary sequencer, watch Boki recover.
+
+Run:  python examples/fault_tolerance_demo.py
+
+Starts a cluster with coordination-service sessions enabled (every node
+holds an ephemeral znode), runs a continuous append workload, then kills
+the primary sequencer. The controller detects the expired session, seals
+the term's metalogs (Delos-style), and installs a new term on spare
+sequencers (§4.5); in-flight appends retry transparently and the workload
+continues — exactly the Figure 10 experiment, narrated.
+"""
+
+from repro.core import BokiCluster
+from repro.core.types import seqnum_term
+from repro.sim.kernel import Interrupt
+
+
+def main():
+    cluster = BokiCluster(
+        num_function_nodes=4,
+        num_storage_nodes=3,
+        num_sequencer_nodes=6,  # 3 active + 3 spares
+        use_coord_sessions=True,
+    )
+    cluster.boot()
+    env = cluster.env
+    appended = []
+
+    def appender():
+        book = cluster.logbook(book_id=3)
+        try:
+            while True:
+                seqnum = yield from book.append({"n": len(appended)})
+                appended.append(seqnum)
+        except Interrupt:
+            return
+
+    worker = env.process(appender())
+
+    def narrate():
+        yield env.timeout(0.25)
+        primary = cluster.term.assignment(0).primary
+        count_before = len(appended)
+        print(f"t={env.now:.3f}s: {count_before} appends so far in term "
+              f"{cluster.term.term_id}; killing primary sequencer {primary!r}")
+        cluster.controller.components[primary].node.crash()
+        # Session timeout (2s) + sweep + reconfiguration.
+        yield env.timeout(6.0)
+        new_term = cluster.controller.current_term
+        print(f"t={env.now:.3f}s: controller detected the failure and installed "
+              f"term {new_term.term_id} on sequencers "
+              f"{new_term.assignment(0).sequencers}")
+        print(f"reconfiguration protocol took "
+              f"{cluster.controller.last_reconfig_duration * 1e3:.1f} ms")
+        yield env.timeout(0.25)
+
+    env.run_until(env.process(narrate()), limit=60.0)
+    worker.interrupt("demo over")
+
+    terms = sorted({seqnum_term(s) for s in appended})
+    per_term = {t: sum(1 for s in appended if seqnum_term(s) == t) for t in terms}
+    print(f"appends completed per term: {per_term}")
+    print(f"total order preserved: {appended == sorted(appended)}")
+    assert appended == sorted(appended)
+    assert len(terms) == 2  # appends landed in both terms
+    print("the shared log survived the sequencer failure with no lost appends.")
+
+
+if __name__ == "__main__":
+    main()

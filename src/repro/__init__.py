@@ -1,0 +1,20 @@
+"""Boki: Stateful Serverless Computing with Shared Logs — reproduction.
+
+A from-scratch Python implementation of the SOSP 2021 paper by Zhipeng Jia
+and Emmett Witchel, on a deterministic discrete-event simulation substrate.
+
+Packages:
+
+- :mod:`repro.sim` — simulation kernel, network, nodes, metrics.
+- :mod:`repro.coord` — coordination service (ZooKeeper substitute).
+- :mod:`repro.faas` — FaaS runtime (Nightcore substitute).
+- :mod:`repro.core` — Boki itself: metalog, sequencers, storage, LogBook
+  engines, the LogBook API, and the reconfiguration control plane.
+- :mod:`repro.libs` — BokiFlow, BokiStore, BokiQueue, GC functions.
+- :mod:`repro.baselines` — every comparator the paper evaluates against.
+- :mod:`repro.workloads` — the evaluation workloads and load harness.
+
+Entry point: :class:`repro.core.BokiCluster`.
+"""
+
+__version__ = "1.0.0"

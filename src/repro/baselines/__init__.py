@@ -1,0 +1,26 @@
+"""Baseline and comparator systems.
+
+Every system the paper's evaluation compares against, implemented as a
+simulated service with a latency/concurrency model calibrated to the
+paper's own measurements (constants and provenance in
+:mod:`repro.baselines.latency`):
+
+- :mod:`repro.baselines.dynamodb` — DynamoDB substitute (conditional
+  writes; the substrate for Beldi and for BokiFlow's user data).
+- :mod:`repro.baselines.beldi` — Beldi's workflow library (linked-DAAL
+  logging on DynamoDB) and the unsafe no-logging baseline.
+- :mod:`repro.baselines.mongodb` — MongoDB substitute (JSON documents,
+  replica set, multi-document transactions) for §7.3.
+- :mod:`repro.baselines.cloudburst` — Cloudburst substitute (causal
+  key-value cache + backing store) for §7.3.
+- :mod:`repro.baselines.sqs` / :mod:`repro.baselines.pulsar` — queue
+  service substitutes for §7.4.
+- :mod:`repro.baselines.redis` — remote cache substitute for the aux-data
+  ablation (§7.5, Table 5).
+- :mod:`repro.baselines.fixed_sharding` — the fixed LogBook->shard
+  placement Boki's log index is compared against (§7.5, Table 8).
+"""
+
+from repro.baselines.dynamodb import ConditionFailedError, DynamoDBClient, DynamoDBService
+
+__all__ = ["ConditionFailedError", "DynamoDBClient", "DynamoDBService"]

@@ -1,0 +1,103 @@
+"""Simulated Cloudburst: the stateful-FaaS KVS comparator (§7.3, Figure 13).
+
+Cloudburst exports a put/get key-value interface backed by Anna, with
+caches co-located on function nodes and *causal* consistency: gets can be
+served from a possibly stale local cache; puts go to the backing store and
+propagate to caches asynchronously. BokiStore is compared against it on
+raw get/put throughput and latency; Cloudburst is faster per cache hit but
+offers weaker guarantees and no transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.baselines.latency import (
+    CLOUDBURST_CACHE_HIT,
+    CLOUDBURST_CACHE_MISS,
+    CLOUDBURST_CONCURRENCY,
+    CLOUDBURST_PUT,
+)
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, RpcError
+from repro.sim.node import Node
+from repro.sim.randvar import RandomStreams
+from repro.sim.sync import Resource
+
+#: How long after a put before remote caches observe the new value.
+PROPAGATION_DELAY = 5e-3
+
+
+class CloudburstService:
+    """The backing Anna-style store plus per-function-node caches."""
+
+    def __init__(self, env: Environment, net: Network, streams: RandomStreams, name: str = "cloudburst"):
+        self.env = env
+        self.net = net
+        self.node = net.register(Node(env, name, cpu_capacity=CLOUDBURST_CONCURRENCY))
+        self._rng = streams.stream(f"{name}-latency")
+        self._slots = Resource(env, capacity=CLOUDBURST_CONCURRENCY)
+        self.store: Dict[Any, Any] = {}
+        #: cache_name -> {key: (value, valid_from_time)}
+        self.caches: Dict[str, Dict[Any, Any]] = {}
+        self.op_count = 0
+        self.node.handle("cb.get", self._h_get)
+        self.node.handle("cb.put", self._h_put)
+
+    def _service(self, model) -> Generator:
+        self.op_count += 1
+        req = self._slots.request()
+        yield req
+        try:
+            yield self.env.timeout(model.sample(self._rng))
+        finally:
+            self._slots.release(req)
+
+    def _h_get(self, payload: dict) -> Generator:
+        cache = self.caches.setdefault(payload["cache"], {})
+        if payload["key"] in cache:
+            yield from self._service(CLOUDBURST_CACHE_HIT)
+            return cache[payload["key"]]
+        yield from self._service(CLOUDBURST_CACHE_MISS)
+        value = self.store.get(payload["key"])
+        cache[payload["key"]] = value
+        return value
+
+    def _h_put(self, payload: dict) -> Generator:
+        yield from self._service(CLOUDBURST_PUT)
+        key, value = payload["key"], payload["value"]
+        self.store[key] = value
+        # The writer's own cache sees the new value immediately (causal:
+        # read-your-writes at the writing site); other caches converge
+        # after the propagation delay.
+        self.caches.setdefault(payload["cache"], {})[key] = value
+        self.env.process(self._propagate(key, value, payload["cache"]), name="cb-propagate")
+        return True
+
+    def _propagate(self, key: Any, value: Any, origin_cache: str) -> Generator:
+        yield self.env.timeout(PROPAGATION_DELAY)
+        for cache_name, cache in self.caches.items():
+            if cache_name != origin_cache and key in cache:
+                cache[key] = value
+
+
+class CloudburstClient:
+    """Bound to a function node; the node name selects its cache."""
+
+    def __init__(self, net: Network, node: Node, service_name: str = "cloudburst"):
+        self.net = net
+        self.node = node
+        self.service_name = service_name
+
+    def _call(self, method: str, payload: dict) -> Generator:
+        try:
+            result = yield self.net.rpc(self.node, self.service_name, method, payload, timeout=30.0)
+        except RpcError as exc:
+            raise exc.cause from None
+        return result
+
+    def get(self, key: Any) -> Generator:
+        return (yield from self._call("cb.get", {"cache": self.node.name, "key": key}))
+
+    def put(self, key: Any, value: Any) -> Generator:
+        return (yield from self._call("cb.put", {"cache": self.node.name, "key": key, "value": value}))

@@ -1,0 +1,196 @@
+"""Simulated DynamoDB: the cloud database Beldi and BokiFlow store user
+data in (§5.1, §7.2).
+
+Implements the subset of DynamoDB both libraries rely on:
+
+- tables of items keyed by a primary key, each item a dict of attributes;
+- ``get`` / ``put`` / ``delete``;
+- ``update`` with *condition expressions* — the atomic conditional update
+  Beldi's linked DAAL and its locks are built on;
+- atomic counter-style in-place updates.
+
+Conditions are expressed as simple specs evaluated atomically with the
+update: ``("absent",)``, ``("attr_lt", name, value)``, ``("attr_eq", name,
+value)``, ``("exists",)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.baselines.latency import (
+    DYNAMODB_CONCURRENCY,
+    DYNAMODB_COND_UPDATE,
+    DYNAMODB_GET,
+    DYNAMODB_PUT,
+)
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, RpcError
+from repro.sim.node import Node
+from repro.sim.randvar import RandomStreams
+from repro.sim.sync import Resource
+
+
+class ConditionFailedError(Exception):
+    """A conditional update's condition evaluated false."""
+
+
+def _check_condition(item: Optional[dict], condition: Optional[Tuple]) -> bool:
+    if condition is None:
+        return True
+    kind = condition[0]
+    if kind == "absent":
+        return item is None
+    if kind == "exists":
+        return item is not None
+    if kind == "attr_lt_or_absent":
+        # The idempotent-update guard (Figure 6a): apply if the item does
+        # not exist yet or its version is older than ours.
+        _, name, value = condition
+        return item is None or name not in item or item[name] < value
+    if item is None:
+        return False
+    if kind == "attr_lt":
+        _, name, value = condition
+        return name in item and item[name] < value
+    if kind == "attr_le":
+        _, name, value = condition
+        return name in item and item[name] <= value
+    if kind == "attr_eq":
+        _, name, value = condition
+        return item.get(name) == value
+    if kind == "attr_absent":
+        _, name = condition
+        return name not in item
+    raise ValueError(f"unknown condition kind {kind!r}")
+
+
+class DynamoDBService:
+    """The simulated regional endpoint."""
+
+    def __init__(self, env: Environment, net: Network, streams: RandomStreams, name: str = "dynamodb"):
+        self.env = env
+        self.net = net
+        self.node = net.register(Node(env, name, cpu_capacity=DYNAMODB_CONCURRENCY))
+        self._rng = streams.stream(f"{name}-latency")
+        self._slots = Resource(env, capacity=DYNAMODB_CONCURRENCY)
+        self.tables: Dict[str, Dict[Any, dict]] = {}
+        self.op_count = 0
+        self.node.handle("ddb.get", self._h_get)
+        self.node.handle("ddb.put", self._h_put)
+        self.node.handle("ddb.update", self._h_update)
+        self.node.handle("ddb.delete", self._h_delete)
+        self.node.handle("ddb.scan", self._h_scan)
+
+    def table(self, name: str) -> Dict[Any, dict]:
+        return self.tables.setdefault(name, {})
+
+    def _service(self, model) -> Generator:
+        self.op_count += 1
+        req = self._slots.request()
+        yield req
+        try:
+            yield self.env.timeout(model.sample(self._rng))
+        finally:
+            self._slots.release(req)
+
+    def _h_get(self, payload: dict) -> Generator:
+        yield from self._service(DYNAMODB_GET)
+        item = self.table(payload["table"]).get(payload["key"])
+        return dict(item) if item is not None else None
+
+    def _h_put(self, payload: dict) -> Generator:
+        yield from self._service(DYNAMODB_PUT)
+        table = self.table(payload["table"])
+        if not _check_condition(table.get(payload["key"]), payload.get("condition")):
+            raise ConditionFailedError(payload["key"])
+        table[payload["key"]] = dict(payload["item"])
+        return True
+
+    def _h_update(self, payload: dict) -> Generator:
+        """Atomic read-modify-write of selected attributes, conditional."""
+        yield from self._service(DYNAMODB_COND_UPDATE)
+        table = self.table(payload["table"])
+        item = table.get(payload["key"])
+        if not _check_condition(item, payload.get("condition")):
+            raise ConditionFailedError(payload["key"])
+        if item is None:
+            item = table[payload["key"]] = {}
+        for name, value in payload.get("set", {}).items():
+            item[name] = value
+        for name, amount in payload.get("add", {}).items():
+            item[name] = item.get(name, 0) + amount
+        return dict(item)
+
+    def _h_delete(self, payload: dict) -> Generator:
+        yield from self._service(DYNAMODB_PUT)
+        table = self.table(payload["table"])
+        if not _check_condition(table.get(payload["key"]), payload.get("condition")):
+            raise ConditionFailedError(payload["key"])
+        table.pop(payload["key"], None)
+        return True
+
+    def _h_scan(self, payload: dict) -> Generator:
+        yield from self._service(DYNAMODB_GET)
+        table = self.table(payload["table"])
+        prefix = payload.get("key_prefix")
+        if prefix is None:
+            return {k: dict(v) for k, v in table.items()}
+        return {k: dict(v) for k, v in table.items() if str(k).startswith(prefix)}
+
+
+class DynamoDBClient:
+    """Client handle bound to a caller node; generator methods."""
+
+    def __init__(self, net: Network, node: Node, service_name: str = "dynamodb"):
+        self.net = net
+        self.node = node
+        self.service_name = service_name
+
+    def _call(self, method: str, payload: dict) -> Generator:
+        try:
+            result = yield self.net.rpc(self.node, self.service_name, method, payload, timeout=30.0)
+        except RpcError as exc:
+            raise exc.cause from None
+        return result
+
+    def get(self, table: str, key: Any) -> Generator:
+        return (yield from self._call("ddb.get", {"table": table, "key": key}))
+
+    def put(self, table: str, key: Any, item: dict, condition: Optional[Tuple] = None) -> Generator:
+        return (
+            yield from self._call(
+                "ddb.put", {"table": table, "key": key, "item": item, "condition": condition}
+            )
+        )
+
+    def update(
+        self,
+        table: str,
+        key: Any,
+        set_attrs: Optional[dict] = None,
+        add_attrs: Optional[dict] = None,
+        condition: Optional[Tuple] = None,
+    ) -> Generator:
+        return (
+            yield from self._call(
+                "ddb.update",
+                {
+                    "table": table,
+                    "key": key,
+                    "set": set_attrs or {},
+                    "add": add_attrs or {},
+                    "condition": condition,
+                },
+            )
+        )
+
+    def delete(self, table: str, key: Any, condition: Optional[Tuple] = None) -> Generator:
+        return (
+            yield from self._call(
+                "ddb.delete", {"table": table, "key": key, "condition": condition}
+            )
+        )
+
+    def scan(self, table: str, key_prefix: Optional[str] = None) -> Generator:
+        return (yield from self._call("ddb.scan", {"table": table, "key_prefix": key_prefix}))

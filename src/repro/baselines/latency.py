@@ -1,0 +1,82 @@
+"""Latency models for simulated external services.
+
+All constants are medians of lognormal service-time distributions (sigma
+controls the tail). They are calibrated so the *reproduced* comparisons
+match the paper's measured gaps; provenance for each number is noted.
+
+The key structural facts the models preserve:
+
+- DynamoDB: every operation is a full HTTPS round trip to a managed
+  store. Beldi's Figure-11c gap (19 ms invoke vs Boki's 3.8 ms, both doing
+  5 log appends) implies roughly 1.8 ms per DynamoDB update and about two
+  DynamoDB updates per Beldi log append (intention + step record of its
+  linked DAAL).
+- MongoDB: sub-ms primary reads (paper Fig. 12b: 0.86 ms UserLogin) and
+  multi-document transactions costing several round trips (7.5 ms class).
+- SQS: a managed HTTP API, ~6 ms per send/receive under light load with
+  heavy tails under saturation (Table 4).
+- Pulsar: broker on the function nodes, ~1-2 ms publish with batching.
+- Redis: sub-ms remote cache ops (Table 5's aux-data variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceLatency:
+    """A lognormal service-time model."""
+
+    median: float
+    sigma: float = 0.35
+
+    def sample(self, rng) -> float:
+        import math
+
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+
+# -- DynamoDB (paper §7.2; calibrated to Beldi primitive-op latencies) --
+DYNAMODB_GET = ServiceLatency(median=1.3e-3, sigma=0.35)
+DYNAMODB_PUT = ServiceLatency(median=1.8e-3, sigma=0.35)
+DYNAMODB_COND_UPDATE = ServiceLatency(median=1.9e-3, sigma=0.35)
+#: Concurrent request capacity of the simulated regional endpoint. High —
+#: DynamoDB scales; Beldi's cost is per-request latency, not saturation.
+DYNAMODB_CONCURRENCY = 4096
+
+# -- MongoDB (paper §7.3, Fig. 12b) --
+MONGODB_READ = ServiceLatency(median=0.65e-3, sigma=0.45)
+MONGODB_WRITE = ServiceLatency(median=1.1e-3, sigma=0.45)
+#: Extra per-statement cost inside a multi-document transaction, plus the
+#: commit round (majority write concern across the 3-replica set).
+MONGODB_TXN_STMT = ServiceLatency(median=0.9e-3, sigma=0.4)
+MONGODB_TXN_COMMIT = ServiceLatency(median=2.2e-3, sigma=0.4)
+MONGODB_CONCURRENCY = 128
+
+# -- Cloudburst (paper §7.3, Fig. 13): KVS cache on function nodes backed
+#    by an Anna-style store; causal consistency. Service times and the
+#    effective concurrency are calibrated to Figure 13's measured curves:
+#    ~1 ms gets at moderate load, rising toward 2.3 ms as the KVS saturates
+#    at high client counts (where BokiStore's get advantage reaches 2x). --
+CLOUDBURST_CACHE_HIT = ServiceLatency(median=0.7e-3, sigma=0.4)
+CLOUDBURST_CACHE_MISS = ServiceLatency(median=1.4e-3, sigma=0.4)
+CLOUDBURST_PUT = ServiceLatency(median=1.1e-3, sigma=0.4)
+CLOUDBURST_CONCURRENCY = 48
+
+# -- Amazon SQS (paper §7.4, Table 4) --
+SQS_SEND = ServiceLatency(median=4.5e-3, sigma=0.6)
+SQS_RECEIVE = ServiceLatency(median=4.5e-3, sigma=0.6)
+#: Per-queue request capacity; saturation produces SQS's large queueing
+#: delays in the 4:1 producer-heavy configurations.
+SQS_CONCURRENCY = 96
+
+# -- Apache Pulsar (paper §7.4) --
+PULSAR_PUBLISH = ServiceLatency(median=1.6e-3, sigma=0.45)
+PULSAR_RECEIVE = ServiceLatency(median=1.4e-3, sigma=0.45)
+PULSAR_CONCURRENCY = 256
+
+# -- Redis (paper §7.5, Table 5's "AuxData w/ Redis") --
+REDIS_GET = ServiceLatency(median=0.25e-3, sigma=0.3)
+REDIS_PUT = ServiceLatency(median=0.25e-3, sigma=0.3)
+REDIS_CONCURRENCY = 256

@@ -1,0 +1,37 @@
+"""Coordination service: a ZooKeeper-like substrate for Boki's control plane.
+
+Boki uses ZooKeeper for three things (§4.2): storing the cluster
+configuration, detecting node failures via sessions, and electing the
+controller leader (§4.5). This package implements all three against the
+simulation substrate:
+
+- :class:`~repro.coord.server.CoordServer` — the service: a znode tree with
+  versions, ephemeral nodes, watches, and sessions with heartbeat expiry.
+- :class:`~repro.coord.client.CoordClient` — the per-node client: session
+  keepalive process, CRUD wrappers, watch subscription, and leader election.
+
+Like the paper, we treat the coordination ensemble itself as reliable (the
+paper runs a 3-node ZK cluster and never fails it); the server runs on one
+simulated node and its own fault tolerance is out of scope.
+"""
+
+from repro.coord.client import CoordClient, LeaderElection
+from repro.coord.server import (
+    BadVersionError,
+    CoordServer,
+    NodeExistsError,
+    NoNodeError,
+    SessionExpiredError,
+    WatchEvent,
+)
+
+__all__ = [
+    "BadVersionError",
+    "CoordClient",
+    "CoordServer",
+    "LeaderElection",
+    "NoNodeError",
+    "NodeExistsError",
+    "SessionExpiredError",
+    "WatchEvent",
+]

@@ -1,0 +1,170 @@
+"""Cluster assembly: wire a full Boki deployment in one call.
+
+:class:`BokiCluster` builds the simulation environment, network, control
+plane (coordination service + controller), gateway, function nodes with
+their LogBook engines, storage nodes, and sequencer nodes — the topology of
+Figure 2 — and installs the initial term. It also provides the client-side
+helpers the benchmarks and examples use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.coord import CoordClient, CoordServer
+from repro.core.config import BokiConfig, TermConfig
+from repro.core.controller import NODES_PREFIX, Controller
+from repro.core.engine import LogBookEngine
+from repro.core.logbook import LogBook
+from repro.core.types import BAGGAGE_POSITIONS, merge_positions
+from repro.faas import FunctionContext, FunctionNode, Gateway
+from repro.sim import Environment, Network, Node
+from repro.sim.randvar import RandomStreams
+
+
+class BokiCluster:
+    """A complete simulated Boki deployment."""
+
+    def __init__(
+        self,
+        num_function_nodes: int = 4,
+        num_storage_nodes: int = 3,
+        num_sequencer_nodes: int = 3,
+        num_logs: int = 1,
+        index_engines_per_log: Optional[int] = None,
+        config: Optional[BokiConfig] = None,
+        seed: int = 0,
+        workers_per_node: int = 64,
+        use_coord_sessions: bool = False,
+    ):
+        self.config = config or BokiConfig()
+        self.config.num_logs = num_logs
+        self.env = Environment()
+        self.streams = RandomStreams(seed=seed)
+        self.net = Network(self.env, self.streams)
+        FunctionContext.register_merger(BAGGAGE_POSITIONS, merge_positions)
+
+        # Control plane.
+        coord_node = self.net.register(Node(self.env, "coord", cpu_capacity=16))
+        self.coord_server = CoordServer(self.env, self.net, coord_node)
+        self.controller = Controller(
+            self.env,
+            self.net,
+            "controller",
+            self.config,
+            coord_client_factory=lambda node: CoordClient(self.env, self.net, node),
+        )
+
+        # FaaS plane.
+        self.gateway = Gateway(self.env, self.net)
+        self.function_nodes: List[FunctionNode] = []
+        self.engines: Dict[str, LogBookEngine] = {}
+        for i in range(num_function_nodes):
+            fnode = FunctionNode(
+                self.env, self.net, f"func-{i}", workers=workers_per_node,
+                dispatch_overhead=50e-6,
+            )
+            self.gateway.add_function_node(fnode)
+            self.function_nodes.append(fnode)
+            engine = LogBookEngine(self.env, self.net, fnode.node, self.config)
+            self.engines[fnode.name] = engine
+            self.controller.register_component(fnode.name, engine, "engine")
+
+        # Storage plane.
+        from repro.core.storage import StorageNode
+
+        self.storage_nodes: List[StorageNode] = []
+        for i in range(num_storage_nodes):
+            snode = StorageNode(self.env, self.net, f"storage-{i}", self.config)
+            self.storage_nodes.append(snode)
+            self.controller.register_component(snode.name, snode, "storage")
+
+        # Sequencer plane.
+        from repro.core.sequencer import SequencerNode
+
+        self.sequencer_nodes: List[SequencerNode] = []
+        for i in range(num_sequencer_nodes):
+            qnode = SequencerNode(self.env, self.net, f"seq-{i}", self.config)
+            self.sequencer_nodes.append(qnode)
+            self.controller.register_component(qnode.name, qnode, "sequencer")
+
+        # Client node for external invocations / standalone logbooks.
+        self.client_node = self.net.register(Node(self.env, "client", cpu_capacity=64))
+        self._index_engines_per_log = index_engines_per_log
+        self._use_coord_sessions = use_coord_sessions
+        self.term: Optional[TermConfig] = None
+        self._book_rr = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Generator:
+        """Install the initial term (and optionally node sessions +
+        failure detection); yield from this inside a process, or call
+        :meth:`boot` to run it synchronously."""
+        if self._use_coord_sessions:
+            yield from self._register_sessions()
+            self.controller.start_failure_detector()
+        self.term = yield from self.controller.install_initial_term(
+            num_logs=self.config.num_logs,
+            index_engines_per_log=self._index_engines_per_log,
+        )
+        return self.term
+
+    def boot(self) -> TermConfig:
+        """Run the simulation until the cluster is ready."""
+        proc = self.env.process(self.start(), name="cluster-boot")
+        return self.env.run_until(proc, limit=60.0)
+
+    def _register_sessions(self) -> Generator:
+        """Each data-plane node registers an ephemeral znode so the
+        controller can detect its failure."""
+        for name, component in self.controller.components.items():
+            client = CoordClient(self.env, self.net, component.node)
+            component.coord_client = client
+            yield from client.start_session()
+            yield from client.create(f"{NODES_PREFIX}/{name}", name, ephemeral=True)
+
+    # ------------------------------------------------------------------
+    # Client helpers
+    # ------------------------------------------------------------------
+    def engine_of(self, node_name: str) -> LogBookEngine:
+        return self.engines[node_name]
+
+    def any_engine(self) -> LogBookEngine:
+        return next(iter(self.engines.values()))
+
+    def logbook(self, book_id: int, engine: Optional[LogBookEngine] = None) -> LogBook:
+        """A standalone LogBook handle (microbenchmarks, tests); bound to
+        ``engine`` or round-robin over the function nodes."""
+        if engine is None:
+            names = list(self.engines)
+            engine = self.engines[names[next(self._book_rr) % len(names)]]
+        return LogBook.standalone(engine, book_id)
+
+    def register_function(self, fn_name: str, handler: Callable) -> None:
+        self.gateway.register_function(fn_name, handler)
+
+    def invoke(self, fn_name: str, arg: Any = None, book_id: Optional[int] = None) -> Generator:
+        """External invocation from the cluster's client node."""
+        return (
+            yield from self.gateway.external_invoke(
+                self.client_node, fn_name, arg, book_id=book_id
+            )
+        )
+
+    def logbook_for(self, ctx: FunctionContext) -> LogBook:
+        """The LogBook bound to a function context — looks up the engine
+        co-located on the context's node (what Boki's runtime does when a
+        function makes LogBook API calls)."""
+        engine = self.engines[ctx.node.name]
+        return LogBook.for_context(engine, ctx)
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)
+
+    def drive(self, gen: Generator, limit: float = 600.0) -> Any:
+        """Run one client process to completion."""
+        proc = self.env.process(gen)
+        return self.env.run_until(proc, limit=limit)

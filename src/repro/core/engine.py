@@ -1,0 +1,816 @@
+"""LogBook engines: the append path, the read path, and consistency (§4.3-4.4).
+
+The LogBook engine is the component Boki adds to Nightcore's per-node
+engine process. It:
+
+- owns one shard of each physical log (a local_id counter) and drives the
+  append workflow: replicate the record to the shard's storage nodes, then
+  wait for the metalog to order it and return the seqnum (Figure 2);
+- maintains the log index for the physical logs it indexes, updated by
+  subscribing to the metalog, plus an LRU record/aux cache (Figure 4);
+- enforces observable consistency: every read carries the reader's metalog
+  position, and the engine suspends the read until its index version
+  catches up (Figure 5);
+- serves reads for remote engines that do not index the target log.
+
+Record *metadata* (book_id, tags) reaches index engines via direct
+messages from the appending engine at replication time; an engine stalls
+entry application until it holds metadata for every record the entry
+orders, fetching from storage nodes if the messages were lost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.cache import RecordCache
+from repro.core.config import BokiConfig, TermConfig
+from repro.core.index import LogIndex
+from repro.core.metalog import MetalogEntry
+from repro.core.ordering import delta_set
+from repro.core.types import LogRecord, MetalogPosition, pack_seqnum, seqnum_term
+from repro.sim.kernel import Environment, Event, Interrupt
+from repro.sim.network import Network, RpcError, RpcTimeout
+from repro.sim.node import Node
+
+#: How long an entry may stall on missing metadata before we fetch it.
+STALL_FETCH_DELAY = 2e-3
+MAINTENANCE_INTERVAL = 1e-3
+
+
+class AppendAborted(Exception):
+    """An in-flight append's term was sealed before ordering; retried
+    transparently by the engine under the new term."""
+
+
+class _TermLogState:
+    """Per-(term, log) append/subscription state."""
+
+    def __init__(self) -> None:
+        self.next_local_id = 0
+        self.applied = 0
+        self.prev_progress: Dict[str, int] = {}
+        self.buffer: Dict[int, MetalogEntry] = {}
+        #: (shard, local_id) -> (book_id, tags) metadata for indexing
+        self.meta: Dict[Tuple[str, int], Tuple[int, Tuple[int, ...]]] = {}
+        #: (shard, local_id) -> Event resolved with seqnum (our appends)
+        self.pending: Dict[Tuple[str, int], Event] = {}
+        self.final_len: Optional[int] = None
+        self.sealed = False
+        self.stalled_since: Optional[float] = None
+
+
+class LogBookEngine:
+    """The LogBook engine living on one function node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        node: Node,
+        config: BokiConfig,
+    ):
+        self.env = env
+        self.net = net
+        self.node = node
+        self.config = config
+        self.term_config: Optional[TermConfig] = None
+        #: All terms ever installed, for routing reads of old-term seqnums.
+        self.term_history: Dict[int, TermConfig] = {}
+        self.cache = RecordCache(config.cache_bytes)
+        #: log_id -> index (only logs this engine indexes)
+        self.indices: Dict[int, LogIndex] = {}
+        #: log_id -> applied metalog position (index version)
+        self.index_version: Dict[int, MetalogPosition] = {}
+        self._states: Dict[Tuple[int, int], _TermLogState] = {}
+        #: log_id -> [(required position, event)] suspended reads
+        self._read_waiters: Dict[int, List[Tuple[MetalogPosition, Event]]] = {}
+        self._storage_rr = 0
+        self._remote_rr = 0
+        self.appends_started = 0
+        self.reads_served = 0
+        self.remote_reads = 0
+        node.handle("metalog.entry", self._h_metalog_entry)
+        node.handle("index.meta", self._h_index_meta)
+        node.handle("engine.read", self._h_engine_read)
+        node.handle("engine.read_range", self._h_engine_read_range)
+        node.handle("engine.dump_index", self._h_engine_dump_index)
+        node.handle("engine.append", self._h_engine_append)
+        node.handle("log.sealed", self._h_log_sealed)
+        node.spawn(self._maintenance(), name=f"{node.name}:engine-maint")
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, term_config: TermConfig) -> None:
+        previous = self.term_config
+        self.term_config = term_config
+        self.term_history[term_config.term_id] = term_config
+        for log_id, asg in term_config.logs.items():
+            if self.name in asg.index_engines and log_id not in self.indices:
+                self.indices[log_id] = LogIndex(log_id)
+                self.index_version.setdefault(log_id, MetalogPosition.zero())
+                if term_config.term_id > 1:
+                    # A newly promoted index engine: earlier terms' records
+                    # of this log exist but we never indexed them. Bootstrap
+                    # the historical index from a peer that has it.
+                    peers = []
+                    if previous is not None and log_id in previous.logs:
+                        peers = [
+                            e for e in previous.assignment(log_id).index_engines
+                            if e != self.name
+                        ]
+                    peers += [e for e in asg.index_engines if e != self.name]
+                    self.node.spawn(
+                        self._bootstrap_index(log_id, list(dict.fromkeys(peers))),
+                        name=f"{self.name}:index-bootstrap:{log_id}",
+                    )
+
+    def _bootstrap_index(self, log_id: int, peers: List[str]) -> Generator:
+        """Copy a peer's index rows for ``log_id`` (historical terms only —
+        the current term's entries arrive via our own subscription)."""
+        for peer in peers:
+            try:
+                dump = yield self.net.rpc(
+                    self.node, peer, "engine.dump_index", {"log_id": log_id},
+                    timeout=1.0,
+                )
+            except (RpcError, RpcTimeout):
+                continue
+            index = self.indices.get(log_id)
+            if index is None:
+                return
+            current_term = self.term_config.term_id if self.term_config else 0
+            for book_id, tags, seqnum, shard in dump["records"]:
+                if seqnum_term(seqnum) < current_term:
+                    index.add_record(book_id, tuple(tags), seqnum, shard)
+            return
+
+    def _h_engine_dump_index(self, payload: dict) -> Generator:
+        """Serve an index bootstrap: all record metadata for a log.
+
+        The locator stores seqnum -> shard; the owning book is recovered
+        from the rows (bootstrap is a rare, term-change-only path)."""
+        yield self.node.cpu.use(self.config.engine_service)
+        index = self.indices.get(payload["log_id"])
+        if index is None:
+            raise KeyError(f"{self.name} does not index log {payload['log_id']}")
+        seq_to_book = {}
+        for (book_id, _tag), row in index._rows.items():
+            for seqnum in row:
+                seq_to_book.setdefault(seqnum, book_id)
+        records = [
+            (seq_to_book[seqnum], index._tags.get(seqnum, ()), seqnum, shard)
+            for seqnum, shard in index._locator.items()
+            if seqnum in seq_to_book
+        ]
+        return {"records": records}
+
+    def indexes(self, log_id: int) -> bool:
+        return log_id in self.indices
+
+    def _state(self, term: int, log_id: int) -> _TermLogState:
+        key = (term, log_id)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _TermLogState()
+        return state
+
+    # ------------------------------------------------------------------
+    # Append path (Figure 2, red arrows)
+    # ------------------------------------------------------------------
+    def append(
+        self, book_id: int, tags: Tuple[int, ...], data: Any
+    ) -> Generator:
+        """Append a record; returns ``(seqnum, position)`` where ``position``
+        is the metalog position whose entry ordered the record (the caller's
+        new read-your-writes floor). Retries transparently across terms."""
+        self.appends_started += 1
+        while True:
+            term_config = self.term_config
+            assert term_config is not None, "engine not configured"
+            term = term_config.term_id
+            log_id = term_config.log_for_book(book_id)
+            asg = term_config.assignment(log_id)
+            state = self._state(term, log_id)
+            if state.sealed:
+                # Raced a reconfiguration: wait for the new term, retry.
+                yield from self._await_term_change(term)
+                continue
+            shard = self.name
+            if shard not in asg.shard_storage:
+                raise RuntimeError(f"engine {self.name} owns no shard of log {log_id}")
+            local_id = state.next_local_id
+            state.next_local_id += 1
+            payload = {
+                "term": term,
+                "log_id": log_id,
+                "shard": shard,
+                "local_id": local_id,
+                "book_id": book_id,
+                "tags": tuple(tags),
+                "data": data,
+                "seqnum": None,
+            }
+            done = Event(self.env)
+            state.pending[(shard, local_id)] = done
+            state.meta[(shard, local_id)] = (book_id, tuple(tags))
+            yield self.node.cpu.use(self.config.engine_service)
+            ok = yield from self._replicate(asg, shard, payload, term_config)
+            if not ok:
+                done_ev = state.pending.pop((shard, local_id), None)
+                yield from self._await_term_change(term)
+                continue
+            # Ship metadata to the index engines so they can index the
+            # record once the metalog orders it.
+            meta_msg = {
+                "term": term,
+                "log_id": log_id,
+                "shard": shard,
+                "local_id": local_id,
+                "book_id": book_id,
+                "tags": tuple(tags),
+            }
+            for index_engine in asg.index_engines:
+                if index_engine != self.name:
+                    self.net.send(self.node, index_engine, "index.meta", meta_msg)
+            try:
+                seqnum, position = yield done
+            except AppendAborted:
+                continue  # term sealed before ordering: retry in new term
+            return seqnum, position
+
+    def _replicate(self, asg, shard: str, payload: dict, term_config: TermConfig) -> Generator:
+        """Replicate to every storage node backing our shard; True when all
+        acked, False if the term changed under us (caller retries)."""
+        backers = asg.shard_storage[shard]
+        attempts = 0
+        while True:
+            calls = [
+                self.net.rpc(self.node, name, "storage.replicate", payload, timeout=0.05)
+                for name in backers
+            ]
+            failed = False
+            for call in calls:
+                try:
+                    yield call
+                except (RpcError, RpcTimeout):
+                    failed = True
+            if not failed:
+                return True
+            attempts += 1
+            if self.term_config is not term_config:
+                return False
+            # A storage node is unresponsive; reconfiguration will replace
+            # it. Back off and retry (the paper's appends see elevated
+            # latency during reconfiguration, Figure 10).
+            yield self.env.timeout(min(0.001 * attempts, 0.01))
+            if self.term_config is not term_config:
+                return False
+
+    def _await_term_change(self, old_term: int) -> Generator:
+        while self.term_config is not None and self.term_config.term_id == old_term:
+            yield self.env.timeout(0.001)
+
+    # ------------------------------------------------------------------
+    # Read path (Figure 4)
+    # ------------------------------------------------------------------
+    def _book_routes(self, book_id: int) -> List[Tuple[int, int, int, int]]:
+        """Every (term, log) placement this book has ever had, in term
+        order, with that term's seqnum bounds. A reconfiguration that
+        changes the number of physical logs remaps books (§4.5), so a
+        book's records can span physical logs across terms."""
+        from repro.core.types import MAX_POS
+
+        routes = []
+        for term_id in sorted(self.term_history):
+            log_id = self.term_history[term_id].log_for_book(book_id)
+            routes.append(
+                (
+                    term_id,
+                    log_id,
+                    pack_seqnum(term_id, log_id, 0),
+                    pack_seqnum(term_id, log_id, MAX_POS),
+                )
+            )
+        return routes
+
+    def read(
+        self,
+        book_id: int,
+        tag: int,
+        direction: str,
+        bound: int,
+        positions: Dict[int, MetalogPosition],
+    ) -> Generator:
+        """Serve a LogBook read. ``direction`` is "next" or "prev"; ``bound``
+        is min_seqnum / max_seqnum respectively; ``positions`` is the
+        reader's per-log metalog position map. Returns
+        ``(record_dict_or_None, updated_positions)``."""
+        routes = self._book_routes(book_id)
+        updated: Dict[int, MetalogPosition] = {}
+        ordered = routes if direction == "next" else list(reversed(routes))
+        for term_id, log_id, lo, hi in ordered:
+            if direction == "next":
+                if hi < bound:
+                    continue
+                route_bound, cap = max(bound, lo), hi
+            else:
+                if lo > bound:
+                    continue
+                route_bound, cap = min(bound, hi), lo
+            position = max(
+                positions.get(log_id, MetalogPosition.zero()),
+                updated.get(log_id, MetalogPosition.zero()),
+            )
+            reply, new_position = yield from self._read_one_log(
+                log_id, book_id, tag, direction, route_bound, cap, position
+            )
+            if new_position > updated.get(log_id, MetalogPosition.zero()):
+                updated[log_id] = new_position
+            if reply is not None:
+                return reply, updated
+        return None, updated
+
+    def _read_one_log(
+        self, log_id: int, book_id: int, tag: int, direction: str, bound: int,
+        cap: int, position: MetalogPosition,
+    ) -> Generator:
+        if self.indexes(log_id):
+            return (
+                yield from self._read_local(
+                    log_id, book_id, tag, direction, bound, cap, position
+                )
+            )
+        return (
+            yield from self._read_remote(
+                log_id, book_id, tag, direction, bound, cap, position
+            )
+        )
+
+    def _read_local(
+        self, log_id: int, book_id: int, tag: int, direction: str, bound: int,
+        cap: int, position: MetalogPosition,
+    ) -> Generator:
+        yield self.node.cpu.use(self.config.engine_service)
+        yield from self._wait_for_version(log_id, position)
+        index = self.indices[log_id]
+        if direction == "next":
+            seqnum = index.read_next(book_id, tag, bound)
+            if seqnum is not None and seqnum > cap:
+                seqnum = None  # belongs to a later term's route
+        else:
+            seqnum = index.read_prev(book_id, tag, bound)
+            if seqnum is not None and seqnum < cap:
+                seqnum = None  # belongs to an earlier term's route
+        new_position = max(position, self.index_version[log_id])
+        if seqnum is None:
+            self.reads_served += 1
+            return None, new_position
+        record = self.cache.get_record(seqnum)
+        if record is not None:
+            aux = self.cache.get_aux(seqnum)
+            self.reads_served += 1
+            return self._record_reply(record, aux), new_position
+        # Cache miss: fetch from a storage node backing the record's shard.
+        reply = yield from self._fetch_from_storage(log_id, seqnum, index)
+        record = LogRecord(
+            seqnum=reply["seqnum"],
+            tags=tuple(reply["tags"]),
+            data=reply["data"],
+            book_id=reply["book_id"],
+            shard=reply["shard"],
+            local_id=reply["local_id"],
+        )
+        self.cache.put_record(record)
+        aux = self.cache.get_aux(seqnum)
+        if aux is None and reply.get("auxdata") is not None:
+            aux = reply["auxdata"]  # aux backup from storage (Table 7)
+            self.cache.put_aux(seqnum, aux)
+        self.reads_served += 1
+        return self._record_reply(record, aux), new_position
+
+    @staticmethod
+    def _record_reply(record: LogRecord, aux: Any) -> dict:
+        return {
+            "seqnum": record.seqnum,
+            "tags": record.tags,
+            "data": record.data,
+            "auxdata": aux,
+            "book_id": record.book_id,
+        }
+
+    def _fetch_from_storage(self, log_id: int, seqnum: int, index: LogIndex) -> Generator:
+        shard = index.shard_of(seqnum)
+        term = seqnum_term(seqnum)
+        term_config = self.term_history.get(term) or self.term_config
+        asg = term_config.assignment(log_id)
+        backers = asg.shard_storage.get(shard)
+        if not backers:
+            raise KeyError(f"no storage known for seqnum {seqnum:#x}")
+        last_error: Optional[BaseException] = None
+        for attempt in range(len(backers)):
+            name = backers[(self._storage_rr + attempt) % len(backers)]
+            self._storage_rr += 1
+            try:
+                return (
+                    yield self.net.rpc(
+                        self.node, name, "storage.read", {"seqnum": seqnum}, timeout=0.05
+                    )
+                )
+            except (RpcError, RpcTimeout) as exc:
+                last_error = exc
+        raise last_error  # all replicas failed
+
+    def _wait_for_version(self, log_id: int, position: MetalogPosition) -> Generator:
+        """Observable consistency (Figure 5): suspend until our index has
+        applied at least the reader's metalog position."""
+        current = self.index_version.get(log_id, MetalogPosition.zero())
+        if current >= position:
+            return
+        event = Event(self.env)
+        self._read_waiters.setdefault(log_id, []).append((position, event))
+        yield event
+
+    def _wake_readers(self, log_id: int) -> None:
+        waiters = self._read_waiters.get(log_id)
+        if not waiters:
+            return
+        current = self.index_version[log_id]
+        remaining = []
+        for position, event in waiters:
+            if current >= position:
+                if not event.triggered:
+                    event.succeed()
+            else:
+                remaining.append((position, event))
+        self._read_waiters[log_id] = remaining
+
+    # ------------------------------------------------------------------
+    # Remote reads
+    # ------------------------------------------------------------------
+    def _index_engines_for(self, log_id: int) -> List[str]:
+        """Index engines for a log, looking back through term history for
+        logs that only existed in earlier terms."""
+        for term_id in sorted(self.term_history, reverse=True):
+            term_config = self.term_history[term_id]
+            if log_id in term_config.logs:
+                engines = term_config.assignment(log_id).index_engines
+                if engines:
+                    return engines
+        raise RuntimeError(f"log {log_id} has no index engines in any term")
+
+    def _read_remote(
+        self, log_id: int, book_id: int, tag: int, direction: str, bound: int,
+        cap: int, position: MetalogPosition,
+    ) -> Generator:
+        engines = self._index_engines_for(log_id)
+        name = engines[self._remote_rr % len(engines)]
+        self._remote_rr += 1
+        payload = {
+            "log_id": log_id,
+            "book_id": book_id,
+            "tag": tag,
+            "direction": direction,
+            "bound": bound,
+            "cap": cap,
+            "position": position,
+        }
+        reply = yield self.net.rpc(self.node, name, "engine.read", payload, timeout=10.0)
+        return reply["record"], reply["position"]
+
+    def read_range(
+        self,
+        book_id: int,
+        tag: int,
+        min_seqnum: int,
+        max_seqnum: int,
+        positions: Dict[int, MetalogPosition],
+        limit: int = 1024,
+    ) -> Generator:
+        """Serve a batched range read: all records with ``tag`` in
+        [min_seqnum, max_seqnum], across every (term, log) placement of the
+        book, amortizing per-call overheads (one index query per route;
+        cache misses fetched from storage concurrently). Returns
+        ``(record_dicts, updated_positions)``."""
+        updated: Dict[int, MetalogPosition] = {}
+        out: List[dict] = []
+        for term_id, log_id, lo, hi in self._book_routes(book_id):
+            if hi < min_seqnum or lo > max_seqnum or len(out) >= limit:
+                continue
+            qmin, qmax = max(min_seqnum, lo), min(max_seqnum, hi)
+            position = max(
+                positions.get(log_id, MetalogPosition.zero()),
+                updated.get(log_id, MetalogPosition.zero()),
+            )
+            if self.indexes(log_id):
+                records, new_position = yield from self._range_local(
+                    log_id, book_id, tag, qmin, qmax, position, limit - len(out)
+                )
+            else:
+                records, new_position = yield from self._read_range_remote(
+                    log_id, book_id, tag, qmin, qmax, position, limit - len(out)
+                )
+            out.extend(records)
+            if new_position > updated.get(log_id, MetalogPosition.zero()):
+                updated[log_id] = new_position
+        return out, updated
+
+    def _range_local(
+        self,
+        log_id: int,
+        book_id: int,
+        tag: int,
+        min_seqnum: int,
+        max_seqnum: int,
+        position: MetalogPosition,
+        limit: int = 1024,
+    ) -> Generator:
+        yield self.node.cpu.use(self.config.engine_service)
+        yield from self._wait_for_version(log_id, position)
+        index = self.indices[log_id]
+        seqnums = index.range(book_id, tag, min_seqnum, max_seqnum)[:limit]
+        new_position = max(position, self.index_version[log_id])
+        replies: List[Optional[dict]] = []
+        fetches = []
+        for seqnum in seqnums:
+            record = self.cache.get_record(seqnum)
+            if record is not None:
+                replies.append(self._record_reply(record, self.cache.get_aux(seqnum)))
+            else:
+                replies.append(None)
+                fetches.append((len(replies) - 1, seqnum))
+        if fetches:
+            procs = [
+                (slot, seqnum, self.env.process(
+                    self._fetch_from_storage(log_id, seqnum, index),
+                    name="range-fetch",
+                ))
+                for slot, seqnum in fetches
+            ]
+            for slot, seqnum, proc in procs:
+                reply = yield proc
+                record = LogRecord(
+                    seqnum=reply["seqnum"],
+                    tags=tuple(reply["tags"]),
+                    data=reply["data"],
+                    book_id=reply["book_id"],
+                    shard=reply["shard"],
+                    local_id=reply["local_id"],
+                )
+                self.cache.put_record(record)
+                aux = self.cache.get_aux(seqnum)
+                if aux is None and reply.get("auxdata") is not None:
+                    aux = reply["auxdata"]
+                    self.cache.put_aux(seqnum, aux)
+                replies[slot] = self._record_reply(record, aux)
+        self.reads_served += len(replies)
+        return replies, new_position
+
+    def _read_range_remote(
+        self, log_id, book_id, tag, min_seqnum, max_seqnum, position, limit
+    ) -> Generator:
+        engines = self._index_engines_for(log_id)
+        name = engines[self._remote_rr % len(engines)]
+        self._remote_rr += 1
+        reply = yield self.net.rpc(
+            self.node, name, "engine.read_range",
+            {
+                "log_id": log_id, "book_id": book_id, "tag": tag,
+                "min_seqnum": min_seqnum, "max_seqnum": max_seqnum,
+                "position": position, "limit": limit,
+            },
+            timeout=10.0,
+        )
+        return reply["records"], reply["position"]
+
+    def _h_engine_read_range(self, payload: dict) -> Generator:
+        self.remote_reads += 1
+        records, position = yield from self._range_local(
+            payload["log_id"], payload["book_id"], payload["tag"],
+            payload["min_seqnum"], payload["max_seqnum"], payload["position"],
+            payload.get("limit", 1024),
+        )
+        return {"records": records, "position": position}
+
+    def _h_engine_append(self, payload: dict) -> Generator:
+        """Append forwarded from another node (used by placement variants
+        such as fixed sharding, where a LogBook is pinned to one shard)."""
+        seqnum, position = yield from self.append(
+            payload["book_id"], tuple(payload["tags"]), payload["data"]
+        )
+        return {"seqnum": seqnum, "position": position}
+
+    def _h_engine_read(self, payload: dict) -> Generator:
+        self.remote_reads += 1
+        record, position = yield from self._read_local(
+            payload["log_id"],
+            payload["book_id"],
+            payload["tag"],
+            payload["direction"],
+            payload["bound"],
+            payload["cap"],
+            payload["position"],
+        )
+        return {"record": record, "position": position}
+
+    # ------------------------------------------------------------------
+    # Auxiliary data (§4.4) and trims
+    # ------------------------------------------------------------------
+    def set_auxdata(self, book_id: int, seqnum: int, auxdata: Any) -> Generator:
+        yield self.node.cpu.use(self.config.engine_service)
+        self.cache.put_aux(seqnum, auxdata)
+        if self.config.aux_backup:
+            term_config = self.term_history.get(seqnum_term(seqnum)) or self.term_config
+            log_id = term_config.log_for_book(book_id)
+            index = self.indices.get(log_id)
+            shard = index.shard_of(seqnum) if index else None
+            asg = term_config.assignment(log_id)
+            backers = asg.shard_storage.get(shard, []) if shard else []
+            for name in backers:
+                self.net.send(self.node, name, "storage.put_aux", {"seqnum": seqnum, "auxdata": auxdata})
+
+    def trim(self, book_id: int, tag: int, until_seqnum: int) -> Generator:
+        """Append a trim command to the metalog (§4.4)."""
+        term_config = self.term_config
+        log_id = term_config.log_for_book(book_id)
+        asg = term_config.assignment(log_id)
+        yield self.net.rpc(
+            self.node,
+            asg.primary,
+            "seq.append_trim",
+            {
+                "term": term_config.term_id,
+                "log_id": log_id,
+                "book_id": book_id,
+                "tag": tag,
+                "until_seqnum": until_seqnum,
+            },
+            timeout=1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Metalog subscription: ordering resolution + index updates
+    # ------------------------------------------------------------------
+    def _h_metalog_entry(self, payload: dict) -> None:
+        term, log_id = payload["term"], payload["log_id"]
+        state = self._state(term, log_id)
+        entry: MetalogEntry = payload["entry"]
+        state.buffer.setdefault(entry.index, entry)
+        self._drain(term, log_id, state)
+
+    def _h_index_meta(self, payload: dict) -> None:
+        state = self._state(payload["term"], payload["log_id"])
+        state.meta[(payload["shard"], payload["local_id"])] = (
+            payload["book_id"],
+            tuple(payload["tags"]),
+        )
+        self._drain(payload["term"], payload["log_id"], state)
+
+    def _drain(self, term: int, log_id: int, state: _TermLogState) -> None:
+        advanced = False
+        while state.applied in state.buffer:
+            entry = state.buffer[state.applied]
+            delta = delta_set(state.prev_progress, entry)
+            if self.indexes(log_id):
+                missing = [
+                    (shard, local_id)
+                    for shard, local_id, _ in delta
+                    if (shard, local_id) not in state.meta
+                ]
+                if missing:
+                    if state.stalled_since is None:
+                        state.stalled_since = self.env.now
+                    break  # stall until metadata arrives (or is fetched)
+            state.stalled_since = None
+            del state.buffer[state.applied]
+            self._apply_entry(term, log_id, state, entry, delta)
+            state.applied += 1
+            advanced = True
+        if advanced:
+            current = self.index_version.get(log_id, MetalogPosition.zero())
+            candidate = MetalogPosition(term, state.applied)
+            if candidate > current:
+                self.index_version[log_id] = candidate
+            self._wake_readers(log_id)
+
+    def _apply_entry(
+        self, term: int, log_id: int, state: _TermLogState, entry: MetalogEntry, delta
+    ) -> None:
+        index = self.indices.get(log_id)
+        for shard, local_id, pos in delta:
+            seqnum = pack_seqnum(term, log_id, pos)
+            if index is not None:
+                meta = state.meta.get((shard, local_id))
+                if meta is not None:
+                    book_id, tags = meta
+                    index.add_record(book_id, tags, seqnum, shard)
+            # Resolve our own pending appends.
+            pending = state.pending.pop((shard, local_id), None)
+            if pending is not None and not pending.triggered:
+                pending.succeed((seqnum, MetalogPosition(term, entry.index + 1)))
+        state.prev_progress = entry.progress_dict()
+        if index is not None:
+            for trim in entry.trims:
+                dropped = index.apply_trim(trim)
+                for seqnum in dropped:
+                    self.cache.drop(seqnum)
+
+    # ------------------------------------------------------------------
+    # Sealing: finish the old term, abort unordered appends
+    # ------------------------------------------------------------------
+    def _h_log_sealed(self, payload: dict) -> Generator:
+        term, log_id, final_len = payload["term"], payload["log_id"], payload["final_len"]
+        state = self._state(term, log_id)
+        state.final_len = final_len
+        state.sealed = True
+        if state.applied < final_len:
+            entries = yield from self._fetch_entries(
+                term, log_id, state.applied, payload.get("sequencers", [])
+            )
+            for entry in entries:
+                state.buffer.setdefault(entry.index, entry)
+            yield from self._drain_with_meta_fetch(term, log_id, state)
+        # Anything still unordered in this term never will be: abort so the
+        # append path retries in the new term. (If we failed to fetch the
+        # final entries this may retry a record the sealed term did order —
+        # an at-least-once corner the support libraries' first-record-wins
+        # protocols tolerate.)
+        for key, event in list(state.pending.items()):
+            if not event.triggered:
+                event.fail(AppendAborted(f"term {term} sealed"))
+            state.pending.pop(key, None)
+        # The sealed term contributes a final index version so readers
+        # waiting on old-term positions are released.
+        self._wake_readers(log_id)
+
+    def _fetch_entries(self, term: int, log_id: int, from_index: int, sequencers: List[str]) -> Generator:
+        for name in sequencers:
+            try:
+                entries = yield self.net.rpc(
+                    self.node, name, "seq.fetch_entries",
+                    {"term": term, "log_id": log_id, "from_index": from_index},
+                    timeout=0.05,
+                )
+                return entries
+            except (RpcError, RpcTimeout):
+                continue
+        return []
+
+    def _drain_with_meta_fetch(self, term: int, log_id: int, state: _TermLogState) -> Generator:
+        """Drain, fetching any missing record metadata from storage."""
+        self._drain(term, log_id, state)
+        guard = 0
+        while state.applied in state.buffer and guard < 100:
+            guard += 1
+            entry = state.buffer[state.applied]
+            delta = delta_set(state.prev_progress, entry)
+            missing_shards = {
+                shard for shard, local_id, _ in delta
+                if (shard, local_id) not in state.meta
+            }
+            if not missing_shards:
+                break
+            yield from self._fetch_meta(term, log_id, state, missing_shards)
+            self._drain(term, log_id, state)
+
+    def _fetch_meta(self, term: int, log_id: int, state: _TermLogState, shards) -> Generator:
+        term_config = self.term_history.get(term) or self.term_config
+        asg = term_config.assignment(log_id)
+        for shard in shards:
+            for name in asg.shard_storage.get(shard, []):
+                try:
+                    metas = yield self.net.rpc(
+                        self.node, name, "storage.fetch_meta",
+                        {"term": term, "log_id": log_id, "shard": shard, "from_local_id": 0},
+                        timeout=0.05,
+                    )
+                except (RpcError, RpcTimeout):
+                    continue
+                for local_id, meta in metas.items():
+                    state.meta.setdefault((shard, local_id), (meta[0], tuple(meta[1])))
+                break
+
+    # ------------------------------------------------------------------
+    # Maintenance: un-stall subscriptions whose metadata never arrived
+    # ------------------------------------------------------------------
+    def _maintenance(self) -> Generator:
+        try:
+            while True:
+                yield self.env.timeout(MAINTENANCE_INTERVAL)
+                for (term, log_id), state in list(self._states.items()):
+                    if (
+                        state.stalled_since is not None
+                        and self.env.now - state.stalled_since > STALL_FETCH_DELAY
+                    ):
+                        state.stalled_since = self.env.now
+                        self.node.spawn(
+                            self._drain_with_meta_fetch(term, log_id, state),
+                            name=f"{self.name}:meta-fetch",
+                        )
+        except Interrupt:
+            return

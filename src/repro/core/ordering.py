@@ -1,0 +1,73 @@
+"""Delta sets: how metalog entries order records across shards (§4.3).
+
+Comparing a metalog entry's progress vector with its predecessor defines
+the *delta set*: for each shard ``j``, records with
+``prev[j] <= local_id < cur[j]``. Records within a delta set are ordered by
+``(shard, local_id)`` (Figure 3), and occupy consecutive physical-log
+positions starting at the entry's ``start_pos``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metalog import MetalogEntry
+
+
+def delta_set(
+    prev_progress: Dict[str, int], entry: MetalogEntry
+) -> List[Tuple[str, int, int]]:
+    """Expand an entry's delta set.
+
+    Returns ``(shard, local_id, pos)`` triples in total order, where ``pos``
+    is the physical-log position assigned by this entry.
+    """
+    out: List[Tuple[str, int, int]] = []
+    pos = entry.start_pos
+    for shard, count in entry.progress:  # already sorted by shard
+        start = prev_progress.get(shard, 0)
+        for local_id in range(start, count):
+            out.append((shard, local_id, pos))
+            pos += 1
+    return out
+
+
+def delta_size(prev_progress: Dict[str, int], entry: MetalogEntry) -> int:
+    return sum(
+        count - prev_progress.get(shard, 0) for shard, count in entry.progress
+    )
+
+
+def position_of(
+    prev_progress: Dict[str, int], entry: MetalogEntry, shard: str, local_id: int
+) -> Optional[int]:
+    """Physical-log position of ``(shard, local_id)`` if this entry orders
+    it, else None. O(#shards) — no delta expansion."""
+    cur = entry.progress_dict()
+    if not prev_progress.get(shard, 0) <= local_id < cur.get(shard, 0):
+        return None
+    pos = entry.start_pos
+    for other, count in entry.progress:
+        start = prev_progress.get(other, 0)
+        if other == shard:
+            return pos + (local_id - start)
+        pos += count - start
+    return None
+
+
+def merge_progress_by_shard(
+    reports: Dict[str, Dict[str, int]], shard_storage: Dict[str, List[str]]
+) -> Dict[str, int]:
+    """Compute the global progress vector from per-storage-node reports.
+
+    ``reports``: storage node name -> (shard -> contiguous count received).
+    ``shard_storage``: shard -> storage node names backing it.
+
+    A shard's fully-replicated prefix is the minimum count over *all* its
+    backing storage nodes; a node that has not reported yet contributes 0.
+    """
+    merged: Dict[str, int] = {}
+    for shard, backers in shard_storage.items():
+        counts = [reports.get(node, {}).get(shard, 0) for node in backers]
+        merged[shard] = min(counts) if counts else 0
+    return merged

@@ -1,0 +1,78 @@
+"""Placement: building a term's assignment from the available nodes.
+
+Encodes the deployment conventions of the paper's experimental setup (§7):
+every function node's engine owns a shard of every physical log; each
+shard is backed by ``ndata`` storage nodes; each metalog lives on ``nmeta``
+sequencers; a configurable subset of engines maintains each log's index
+(4 per physical log in the paper's default setup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BokiConfig, LogAssignment, TermConfig
+from repro.core.hashing import ConsistentHashRing, stable_hash
+
+
+def build_term(
+    config: BokiConfig,
+    term_id: int,
+    engine_names: Sequence[str],
+    storage_names: Sequence[str],
+    sequencer_names: Sequence[str],
+    num_logs: Optional[int] = None,
+    index_engines_per_log: Optional[int] = None,
+    primary_overrides: Optional[Dict[int, str]] = None,
+) -> TermConfig:
+    """Deterministically place ``num_logs`` physical logs on the nodes."""
+    num_logs = num_logs if num_logs is not None else config.num_logs
+    if num_logs <= 0:
+        raise ValueError("need at least one physical log")
+    if not engine_names:
+        raise ValueError("need at least one engine")
+    if len(storage_names) < config.ndata:
+        raise ValueError(
+            f"need >= ndata={config.ndata} storage nodes, have {len(storage_names)}"
+        )
+    if len(sequencer_names) < config.nmeta:
+        raise ValueError(
+            f"need >= nmeta={config.nmeta} sequencer nodes, have {len(sequencer_names)}"
+        )
+    per_log_index = index_engines_per_log if index_engines_per_log is not None else min(
+        4, len(engine_names)
+    )
+
+    logs: Dict[int, LogAssignment] = {}
+    for log_id in range(num_logs):
+        shards = list(engine_names)
+        shard_storage: Dict[str, List[str]] = {}
+        for shard in shards:
+            start = stable_hash((term_id, log_id, shard), salt="placement") % len(storage_names)
+            shard_storage[shard] = [
+                storage_names[(start + i) % len(storage_names)] for i in range(config.ndata)
+            ]
+        seq_start = (log_id + term_id) % len(sequencer_names)
+        sequencers = [
+            sequencer_names[(seq_start + i) % len(sequencer_names)]
+            for i in range(config.nmeta)
+        ]
+        primary = sequencers[0]
+        if primary_overrides and log_id in primary_overrides:
+            primary = primary_overrides[log_id]
+            if primary not in sequencers:
+                sequencers[0] = primary
+        idx_start = log_id % len(engine_names)
+        index_engines = [
+            engine_names[(idx_start + i) % len(engine_names)] for i in range(per_log_index)
+        ]
+        logs[log_id] = LogAssignment(
+            log_id=log_id,
+            shards=shards,
+            shard_storage=shard_storage,
+            sequencers=sequencers,
+            primary=primary,
+            index_engines=list(dict.fromkeys(index_engines)),
+        )
+    ring = ConsistentHashRing(list(range(num_logs)), num_partitions=config.ring_partitions)
+    return TermConfig(term_id=term_id, logs=logs, ring=ring)

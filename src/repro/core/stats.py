@@ -1,0 +1,137 @@
+"""Cluster observability: a one-call snapshot of every component's state.
+
+Production shared-log deployments live and die by their metrics; this
+module aggregates what the simulated components already count — appends,
+reads, cache hit rates, metalog entries, reconfigurations, message volume —
+into a single report for debugging experiments and asserting invariants in
+tests (e.g. "no remote reads happened", "storage reclaimed trimmed
+records").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class EngineStats:
+    appends_started: int
+    reads_served: int
+    remote_reads: int
+    cache_hits: int
+    cache_misses: int
+    cache_used_bytes: int
+    cache_evictions: int
+    index_records: Dict[int, int]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class StorageStats:
+    records_by_seqnum: int
+    aux_backups: int
+    trimmed: int
+
+
+@dataclass
+class SequencerStats:
+    entries_appended: int
+    replicas: int
+    sealed_replicas: int
+
+
+@dataclass
+class ClusterStats:
+    virtual_time: float
+    term_id: int
+    reconfigurations: int
+    messages_sent: int
+    engines: Dict[str, EngineStats]
+    storage: Dict[str, StorageStats]
+    sequencers: Dict[str, SequencerStats]
+
+    def total_appends(self) -> int:
+        return sum(e.appends_started for e in self.engines.values())
+
+    def total_reads(self) -> int:
+        return sum(e.reads_served for e in self.engines.values())
+
+    def total_remote_reads(self) -> int:
+        return sum(e.remote_reads for e in self.engines.values())
+
+    def total_trimmed(self) -> int:
+        return sum(s.trimmed for s in self.storage.values())
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"t={self.virtual_time:.3f}s term={self.term_id} "
+            f"reconfigs={self.reconfigurations} messages={self.messages_sent}",
+            f"appends={self.total_appends()} reads={self.total_reads()} "
+            f"(remote {self.total_remote_reads()}) trimmed={self.total_trimmed()}",
+        ]
+        for name, engine in sorted(self.engines.items()):
+            lines.append(
+                f"  engine {name}: appends={engine.appends_started} "
+                f"reads={engine.reads_served} hit-rate={engine.cache_hit_rate:.0%} "
+                f"cache={engine.cache_used_bytes >> 10}KB"
+            )
+        for name, storage in sorted(self.storage.items()):
+            lines.append(
+                f"  storage {name}: records={storage.records_by_seqnum} "
+                f"aux-backups={storage.aux_backups} trimmed={storage.trimmed}"
+            )
+        for name, seq in sorted(self.sequencers.items()):
+            lines.append(
+                f"  sequencer {name}: entries={seq.entries_appended} "
+                f"replicas={seq.replicas} sealed={seq.sealed_replicas}"
+            )
+        return lines
+
+
+def collect_stats(cluster) -> ClusterStats:
+    """Snapshot a :class:`~repro.core.cluster.BokiCluster`."""
+    engines = {}
+    for name, engine in cluster.engines.items():
+        engines[name] = EngineStats(
+            appends_started=engine.appends_started,
+            reads_served=engine.reads_served,
+            remote_reads=engine.remote_reads,
+            cache_hits=engine.cache.hits,
+            cache_misses=engine.cache.misses,
+            cache_used_bytes=engine.cache.used_bytes,
+            cache_evictions=engine.cache.evictions,
+            index_records={
+                log_id: index.record_count for log_id, index in engine.indices.items()
+            },
+        )
+    storage = {
+        node.name: StorageStats(
+            records_by_seqnum=len(node._by_seqnum),
+            aux_backups=len(node._aux_backup),
+            trimmed=node.trimmed_count,
+        )
+        for node in cluster.storage_nodes
+    }
+    sequencers = {
+        node.name: SequencerStats(
+            entries_appended=node.entries_appended,
+            replicas=len(node.replicas),
+            sealed_replicas=sum(1 for r in node.replicas.values() if r.sealed),
+        )
+        for node in cluster.sequencer_nodes
+    }
+    term = cluster.controller.current_term
+    return ClusterStats(
+        virtual_time=cluster.env.now,
+        term_id=term.term_id if term else 0,
+        reconfigurations=cluster.controller.reconfig_count,
+        messages_sent=cluster.net.messages_sent,
+        engines=engines,
+        storage=storage,
+        sequencers=sequencers,
+    )

@@ -1,0 +1,262 @@
+"""Storage nodes: durable record stores for physical-log shards (§4.2-4.3).
+
+Each physical-log shard is replicated on ``ndata`` storage nodes. Storage
+nodes:
+
+- accept ``storage.replicate`` writes from the shard-owning engine and
+  track, per shard, the contiguous prefix of local_ids received;
+- periodically report their progress vectors to the primary sequencer
+  (step 2 of the append workflow, Figure 2);
+- subscribe to the metalog and, once records are ordered, index them by
+  seqnum to serve ``storage.read``;
+- reclaim trimmed records in the background;
+- optionally store auxiliary-data backups (Table 7's second configuration).
+
+Record payloads are plain dicts (not shared object references) so every
+node owns an independent copy, as real message passing would give.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.config import BokiConfig, TermConfig
+from repro.core.metalog import MetalogEntry
+from repro.core.ordering import delta_set
+from repro.core.types import pack_seqnum
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class _ShardStore:
+    """Records of one (term, log, shard) this node backs."""
+
+    def __init__(self) -> None:
+        self.records: Dict[int, dict] = {}  # local_id -> record payload
+        self.contiguous = 0  # local_ids [0, contiguous) all present
+
+    def put(self, local_id: int, payload: dict) -> None:
+        self.records[local_id] = payload
+        while self.contiguous in self.records:
+            self.contiguous += 1
+
+
+class _LogState:
+    """Per-(term, log) metalog application state."""
+
+    def __init__(self) -> None:
+        self.applied = 0
+        self.prev_progress: Dict[str, int] = {}
+        self.buffer: Dict[int, MetalogEntry] = {}
+        self.final_len: Optional[int] = None
+
+
+class StorageNode:
+    """A simulated storage node."""
+
+    def __init__(self, env: Environment, net: Network, name: str, config: BokiConfig):
+        self.env = env
+        self.net = net
+        self.config = config
+        self.node = net.register(Node(env, name, cpu_capacity=config.storage_cpu))
+        self.term_config: Optional[TermConfig] = None
+        #: (term, log, shard) -> shard store
+        self._shards: Dict[Tuple[int, int, str], _ShardStore] = {}
+        #: (term, log) -> application state
+        self._logs: Dict[Tuple[int, int], _LogState] = {}
+        #: seqnum -> record payload (ordered records, the read path)
+        self._by_seqnum: Dict[int, dict] = {}
+        #: seqnum -> auxiliary data backup
+        self._aux_backup: Dict[int, Any] = {}
+        self.trimmed_count = 0
+        self._progress_proc = None
+        self._register_handlers()
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def _register_handlers(self) -> None:
+        self.node.handle("storage.replicate", self._h_replicate)
+        self.node.handle("storage.read", self._h_read)
+        self.node.handle("storage.put_aux", self._h_put_aux)
+        self.node.handle("storage.fetch_meta", self._h_fetch_meta)
+        self.node.handle("metalog.entry", self._h_metalog_entry)
+        self.node.handle("log.sealed", self._h_log_sealed)
+
+    # ------------------------------------------------------------------
+    # Configuration / term changes
+    # ------------------------------------------------------------------
+    def configure(self, term_config: TermConfig) -> None:
+        """Install a new term's assignment and (re)start progress reporting."""
+        self.term_config = term_config
+        if self._progress_proc is not None and self._progress_proc.is_alive:
+            self._progress_proc.interrupt("reconfigured")
+        if self._backed_logs():
+            self._progress_proc = self.node.spawn(
+                self._progress_loop(term_config), name=f"{self.name}:progress"
+            )
+
+    def _backed_logs(self) -> List[Tuple[int, List[str]]]:
+        """Logs (and their shards) this node backs under the current term."""
+        assert self.term_config is not None
+        out = []
+        for log_id, asg in self.term_config.logs.items():
+            shards = [s for s, nodes in asg.shard_storage.items() if self.name in nodes]
+            if shards:
+                out.append((log_id, shards))
+        return out
+
+    def _progress_loop(self, term_config: TermConfig) -> Generator:
+        term = term_config.term_id
+        backed = self._backed_logs()
+        try:
+            while self.term_config is term_config:
+                yield self.env.timeout(self.config.progress_interval)
+                for log_id, shards in backed:
+                    vector = {
+                        shard: self._shard(term, log_id, shard).contiguous
+                        for shard in shards
+                    }
+                    asg = term_config.assignment(log_id)
+                    self.net.send(
+                        self.node,
+                        asg.primary,
+                        "seq.report_progress",
+                        {"term": term, "log_id": log_id, "storage": self.name, "vector": vector},
+                    )
+        except Interrupt:
+            return
+
+    def _shard(self, term: int, log_id: int, shard: str) -> _ShardStore:
+        key = (term, log_id, shard)
+        store = self._shards.get(key)
+        if store is None:
+            store = self._shards[key] = _ShardStore()
+        return store
+
+    def _log_state(self, term: int, log_id: int) -> _LogState:
+        key = (term, log_id)
+        state = self._logs.get(key)
+        if state is None:
+            state = self._logs[key] = _LogState()
+        return state
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _h_replicate(self, payload: dict) -> Generator:
+        """Store one record; ack once durable."""
+        yield self.node.cpu.use(self.config.storage_service)
+        store = self._shard(payload["term"], payload["log_id"], payload["shard"])
+        store.put(payload["local_id"], payload)
+        return True
+
+    def _h_put_aux(self, payload: dict) -> None:
+        if self.config.aux_backup:
+            self._aux_backup[payload["seqnum"]] = payload["auxdata"]
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _h_read(self, payload: dict) -> Generator:
+        yield self.node.cpu.use(self.config.storage_service)
+        yield self.env.timeout(self.config.media_read_latency)
+        record = self._by_seqnum.get(payload["seqnum"])
+        if record is None:
+            raise KeyError(f"seqnum {payload['seqnum']:#x} not on {self.name}")
+        reply = dict(record)
+        if self.config.aux_backup:
+            reply["auxdata"] = self._aux_backup.get(payload["seqnum"])
+        return reply
+
+    def _h_fetch_meta(self, payload: dict) -> Generator:
+        """Catch-up path for index engines missing record metadata: return
+        (local_id -> (book_id, tags)) for a shard range we back."""
+        yield self.node.cpu.use(self.config.storage_service)
+        store = self._shard(payload["term"], payload["log_id"], payload["shard"])
+        out = {}
+        for local_id in range(payload["from_local_id"], store.contiguous):
+            record = store.records.get(local_id)
+            if record is not None:
+                out[local_id] = (record["book_id"], record["tags"])
+        return out
+
+    # ------------------------------------------------------------------
+    # Metalog subscription: assign seqnums, apply trims
+    # ------------------------------------------------------------------
+    def _h_metalog_entry(self, payload: dict) -> None:
+        term, log_id = payload["term"], payload["log_id"]
+        state = self._log_state(term, log_id)
+        entry: MetalogEntry = payload["entry"]
+        state.buffer[entry.index] = entry
+        self._drain(term, log_id, state)
+
+    def _drain(self, term: int, log_id: int, state: _LogState) -> None:
+        while state.applied in state.buffer:
+            entry = state.buffer.pop(state.applied)
+            self._apply_entry(term, log_id, state, entry)
+            state.applied += 1
+
+    def _apply_entry(self, term: int, log_id: int, state: _LogState, entry: MetalogEntry) -> None:
+        for shard, local_id, pos in delta_set(state.prev_progress, entry):
+            store = self._shards.get((term, log_id, shard))
+            if store is None:
+                continue  # we do not back this shard
+            record = store.records.get(local_id)
+            if record is not None:
+                seqnum = pack_seqnum(term, log_id, pos)
+                record["seqnum"] = seqnum
+                self._by_seqnum[seqnum] = record
+        state.prev_progress = entry.progress_dict()
+        for trim in entry.trims:
+            self._reclaim(trim)
+
+    def _reclaim(self, trim) -> None:
+        """Background space reclamation for trimmed records (§4.4). We model
+        it as immediate deletion; the latency-insensitive path."""
+        doomed = []
+        for seqnum, record in self._by_seqnum.items():
+            if seqnum > trim.until_seqnum or record["book_id"] != trim.book_id:
+                continue
+            if trim.tag == 0 or trim.tag in record["tags"]:
+                doomed.append(seqnum)
+        for seqnum in doomed:
+            record = self._by_seqnum.pop(seqnum)
+            self._aux_backup.pop(seqnum, None)
+            store = self._shards.get((record["term"], record["log_id"], record["shard"]))
+            if store is not None:
+                store.records.pop(record["local_id"], None)
+            self.trimmed_count += 1
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+    def _h_log_sealed(self, payload: dict) -> Generator:
+        """The controller announces the final metalog length for a sealed
+        (term, log); fetch any entries we are missing and finish applying."""
+        term, log_id, final_len = payload["term"], payload["log_id"], payload["final_len"]
+        state = self._log_state(term, log_id)
+        state.final_len = final_len
+        if state.applied < final_len and self.term_config is not None:
+            old_assignment = payload.get("sequencers", [])
+            entries = yield from self._fetch_entries(term, log_id, state.applied, old_assignment)
+            for entry in entries:
+                state.buffer.setdefault(entry.index, entry)
+            self._drain(term, log_id, state)
+
+    def _fetch_entries(self, term: int, log_id: int, from_index: int, sequencers: List[str]) -> Generator:
+        from repro.sim.network import RpcError, RpcTimeout
+
+        for seq_name in sequencers:
+            try:
+                entries = yield self.net.rpc(
+                    self.node, seq_name, "seq.fetch_entries",
+                    {"term": term, "log_id": log_id, "from_index": from_index},
+                    timeout=0.05,
+                )
+                return entries
+            except (RpcError, RpcTimeout):
+                continue
+        return []

@@ -1,0 +1,92 @@
+"""Per-invocation function context.
+
+The context is the function's handle to the platform: it identifies the
+invocation, carries the LogBook binding (``book_id``), and transports
+*baggage* — small key/value state that children inherit from parents and
+parents absorb back from children. Boki uses baggage to propagate each
+function's metalog position so read-your-writes and monotonic reads hold
+across function boundaries (§4.4, Figure 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+_call_ids = itertools.count(1)
+
+
+def next_call_id() -> int:
+    return next(_call_ids)
+
+
+class FunctionContext:
+    """Handle passed to every function invocation.
+
+    Attributes
+    ----------
+    call_id:
+        Unique id of this invocation.
+    book_id:
+        The LogBook this invocation is bound to (``None`` when the function
+        does not use shared logs).
+    baggage:
+        Mutable dict inherited by child invocations and merged back by the
+        registered merge functions when a child returns.
+    """
+
+    #: Merge functions applied per baggage key when a child returns:
+    #: key -> f(parent_value, child_value) -> merged value.
+    #: Boki registers max() for the metalog position key.
+    baggage_mergers: Dict[str, Callable[[Any, Any], Any]] = {}
+
+    def __init__(
+        self,
+        node: Any,
+        gateway_invoke: Callable,
+        call_id: Optional[int] = None,
+        book_id: Optional[int] = None,
+        baggage: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[int] = None,
+    ):
+        self.node = node
+        self._gateway_invoke = gateway_invoke
+        self.call_id = call_id if call_id is not None else next_call_id()
+        self.book_id = book_id
+        self.baggage: Dict[str, Any] = dict(baggage or {})
+        self.parent_id = parent_id
+        #: Extension slot: Boki attaches the LogBook client here.
+        self.services: Dict[str, Any] = {}
+
+    @classmethod
+    def register_merger(cls, key: str, merge: Callable[[Any, Any], Any]) -> None:
+        cls.baggage_mergers[key] = merge
+
+    def invoke(self, fn_name: str, arg: Any = None, book_id: Optional[int] = None) -> Generator:
+        """Invoke a child function and wait for its result.
+
+        The child inherits this context's baggage (so e.g. its LogBook view
+        is at least as fresh as ours); on return, the child's baggage is
+        merged back into ours per the registered mergers.
+        """
+        result, child_baggage = yield from self._gateway_invoke(
+            src_node=self.node,
+            fn_name=fn_name,
+            arg=arg,
+            book_id=book_id if book_id is not None else self.book_id,
+            baggage=dict(self.baggage),
+            parent_id=self.call_id,
+        )
+        self.absorb(child_baggage)
+        return result
+
+    def absorb(self, other_baggage: Dict[str, Any]) -> None:
+        """Merge another context's baggage into ours (child return path)."""
+        for key, value in other_baggage.items():
+            if key in self.baggage and key in self.baggage_mergers:
+                self.baggage[key] = self.baggage_mergers[key](self.baggage[key], value)
+            else:
+                self.baggage[key] = value
+
+    def __repr__(self) -> str:
+        return f"<FunctionContext call={self.call_id} book={self.book_id}>"

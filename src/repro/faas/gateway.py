@@ -1,0 +1,146 @@
+"""The FaaS gateway: function registry and request scheduling.
+
+The gateway is the entry point for function requests (§4.2, Figure 2). It
+keeps the registry of deployed functions, tracks the live function nodes,
+and schedules each invocation onto a node. The default policy is
+round-robin; a locality-aware policy can be installed so invocations land
+on nodes whose LogBook engine holds the index for the request's LogBook —
+the optimization §4.4 describes ("scheduling functions on nodes where their
+data is likely to be cached").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, RpcError
+from repro.sim.node import Node
+from repro.faas.worker import FunctionNode
+
+#: Workflow invocations can be long chains; give them generous timeouts.
+INVOKE_TIMEOUT = 120.0
+
+
+def _unwrap(exc: RpcError) -> BaseException:
+    """Strip nested RpcError layers (client -> gateway -> node) down to the
+    original application exception."""
+    cause: BaseException = exc
+    while isinstance(cause, RpcError):
+        cause = cause.cause
+    return cause
+
+
+class FunctionNotFoundError(Exception):
+    """Invocation of a function name with no registered handler."""
+
+
+class Gateway:
+    """Routes invocations to function nodes."""
+
+    def __init__(self, env: Environment, net: Network, name: str = "gateway"):
+        self.env = env
+        self.net = net
+        self.node = net.register(Node(env, name, cpu_capacity=32))
+        self.function_nodes: List[FunctionNode] = []
+        self._functions: Dict[str, Callable] = {}
+        self._rr = itertools.count()
+        #: Optional scheduler override: f(fn_name, book_id) -> FunctionNode.
+        self.scheduler: Optional[Callable[[str, Optional[int]], FunctionNode]] = None
+        self.node.handle("faas.invoke", self._h_invoke)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def add_function_node(self, fnode: FunctionNode) -> None:
+        self.function_nodes.append(fnode)
+        fnode.bind_gateway(self.invoke_from)
+        for fn_name, handler in self._functions.items():
+            fnode.register_function(fn_name, handler)
+
+    def register_function(self, fn_name: str, handler: Callable) -> None:
+        """Deploy a function to every current and future function node."""
+        self._functions[fn_name] = handler
+        for fnode in self.function_nodes:
+            fnode.register_function(fn_name, handler)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def pick_node(self, fn_name: str, book_id: Optional[int]) -> FunctionNode:
+        if not self.function_nodes:
+            raise RuntimeError("no function nodes attached to gateway")
+        if self.scheduler is not None:
+            return self.scheduler(fn_name, book_id)
+        alive = [f for f in self.function_nodes if f.node.alive]
+        if not alive:
+            raise RuntimeError("no live function nodes")
+        return alive[next(self._rr) % len(alive)]
+
+    # ------------------------------------------------------------------
+    # Invocation paths
+    # ------------------------------------------------------------------
+    def _h_invoke(self, payload: dict) -> Generator:
+        """Gateway-side handler for external invocations."""
+        if payload["fn"] not in self._functions:
+            raise FunctionNotFoundError(payload["fn"])
+        fnode = self.pick_node(payload["fn"], payload.get("book_id"))
+        reply = yield self.net.rpc(
+            self.node, fnode.node, "faas.exec", payload, timeout=INVOKE_TIMEOUT
+        )
+        return reply
+
+    def invoke_from(
+        self,
+        src_node: Node,
+        fn_name: str,
+        arg: Any = None,
+        book_id: Optional[int] = None,
+        baggage: Optional[dict] = None,
+        parent_id: Optional[int] = None,
+    ) -> Generator:
+        """Invoke a function from ``src_node`` (internal fast path).
+
+        Nightcore routes internal (function-to-function) calls through the
+        local engine rather than back to the gateway; we model that by
+        scheduling here and sending directly src -> function node.
+        Returns ``(result, child_baggage)``.
+        """
+        if fn_name not in self._functions:
+            raise FunctionNotFoundError(fn_name)
+        payload = {
+            "fn": fn_name,
+            "arg": arg,
+            "book_id": book_id,
+            "baggage": baggage or {},
+            "parent_id": parent_id,
+        }
+        fnode = self.pick_node(fn_name, book_id)
+        try:
+            reply = yield self.net.rpc(
+                src_node, fnode.node, "faas.exec", payload, timeout=INVOKE_TIMEOUT
+            )
+        except RpcError as exc:
+            raise _unwrap(exc) from None
+        return reply["result"], reply["baggage"]
+
+    def external_invoke(
+        self,
+        client_node: Node,
+        fn_name: str,
+        arg: Any = None,
+        book_id: Optional[int] = None,
+    ) -> Generator:
+        """Client entry point: client -> gateway -> function node.
+
+        Returns only the result (clients do not see baggage).
+        """
+        payload = {"fn": fn_name, "arg": arg, "book_id": book_id, "baggage": {}}
+        try:
+            reply = yield self.net.rpc(
+                client_node, self.node, "faas.invoke", payload, timeout=INVOKE_TIMEOUT
+            )
+        except RpcError as exc:
+            raise _unwrap(exc) from None
+        return reply["result"]

@@ -1,0 +1,66 @@
+"""Locality-aware function scheduling.
+
+§4.4: "cloud providers can build simple caches which increase data locality
+when scheduling functions on nodes where their data is likely to be
+cached" — and §7.5's Table 6 quantifies the cost of ignoring it. This
+module implements that scheduler: an invocation bound to a LogBook is
+placed on a function node whose engine maintains the index for the book's
+physical log (and, secondarily, balances load within that set).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.faas.worker import FunctionNode
+
+
+class LocalityScheduler:
+    """Schedules invocations onto index-holding nodes for their LogBook."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._rr = itertools.count()
+        self.local_placements = 0
+        self.remote_placements = 0
+
+    def __call__(self, fn_name: str, book_id: Optional[int]) -> FunctionNode:
+        nodes = [f for f in self.cluster.gateway.function_nodes if f.node.alive]
+        if not nodes:
+            raise RuntimeError("no live function nodes")
+        term = self.cluster.controller.current_term
+        if book_id is None or term is None:
+            self.remote_placements += 1
+            return nodes[next(self._rr) % len(nodes)]
+        log_id = term.log_for_book(book_id)
+        index_names = set(term.assignment(log_id).index_engines)
+        preferred = [f for f in nodes if f.name in index_names]
+        if not preferred:
+            self.remote_placements += 1
+            return nodes[next(self._rr) % len(nodes)]
+        # Within the preferred set, pick the least-loaded node (shortest
+        # worker queue), breaking ties round-robin.
+        self.local_placements += 1
+        start = next(self._rr)
+        best = min(
+            range(len(preferred)),
+            key=lambda i: (
+                preferred[(start + i) % len(preferred)].workers.in_use
+                + preferred[(start + i) % len(preferred)].workers.queued,
+                i,
+            ),
+        )
+        return preferred[(start + best) % len(preferred)]
+
+    @property
+    def locality_rate(self) -> float:
+        total = self.local_placements + self.remote_placements
+        return self.local_placements / total if total else 0.0
+
+
+def enable_locality_scheduling(cluster) -> LocalityScheduler:
+    """Install the locality scheduler on a cluster's gateway."""
+    scheduler = LocalityScheduler(cluster)
+    cluster.gateway.scheduler = scheduler
+    return scheduler

@@ -1,0 +1,94 @@
+"""Function nodes: bounded worker pools running registered functions.
+
+A function node models Nightcore's engine + container fleet on one machine:
+it accepts ``faas.exec`` requests, holds a worker slot for the duration of
+the invocation (one in-flight request per container), applies a small
+dispatch overhead, and runs the function handler as a simulation process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.sync import Resource
+from repro.faas.context import FunctionContext
+
+DEFAULT_WORKERS = 64
+#: Nightcore's internal dispatch cost (engine -> container message channel);
+#: the Nightcore paper reports sub-100us invocation overheads.
+DEFAULT_DISPATCH_OVERHEAD = 50e-6
+
+
+class FunctionNode:
+    """A simulated function node (Nightcore engine + containers)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        name: str,
+        workers: int = DEFAULT_WORKERS,
+        dispatch_overhead: float = DEFAULT_DISPATCH_OVERHEAD,
+    ):
+        self.env = env
+        self.net = net
+        self.node = net.register(Node(env, name, cpu_capacity=workers))
+        self.workers = Resource(env, capacity=workers)
+        self.dispatch_overhead = dispatch_overhead
+        self._functions: Dict[str, Callable] = {}
+        self._gateway_invoke: Optional[Callable] = None
+        self.invocations = 0
+        self.node.handle("faas.exec", self._h_exec)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def register_function(self, fn_name: str, handler: Callable) -> None:
+        """``handler(ctx, arg)`` must be a generator function."""
+        self._functions[fn_name] = handler
+
+    def bind_gateway(self, gateway_invoke: Callable) -> None:
+        """Install the callable used for child invocations from this node."""
+        self._gateway_invoke = gateway_invoke
+
+    def _h_exec(self, payload: dict) -> Generator:
+        fn_name = payload["fn"]
+        handler = self._functions.get(fn_name)
+        if handler is None:
+            raise KeyError(f"function {fn_name!r} not registered on {self.name}")
+        req = self.workers.request()
+        yield req
+        try:
+            yield self.env.timeout(self.dispatch_overhead)
+            ctx = FunctionContext(
+                node=self.node,
+                gateway_invoke=self._child_invoke,
+                book_id=payload.get("book_id"),
+                baggage=payload.get("baggage"),
+                parent_id=payload.get("parent_id"),
+            )
+            self.invocations += 1
+            result = yield self.env.process(
+                handler(ctx, payload.get("arg")), name=f"fn:{fn_name}"
+            )
+        finally:
+            self.workers.release(req)
+        return {"result": result, "baggage": ctx.baggage}
+
+    def _child_invoke(self, src_node, fn_name, arg, book_id, baggage, parent_id) -> Generator:
+        if self._gateway_invoke is None:
+            raise RuntimeError(f"function node {self.name} has no gateway bound")
+        return (
+            yield from self._gateway_invoke(
+                src_node=src_node,
+                fn_name=fn_name,
+                arg=arg,
+                book_id=book_id,
+                baggage=baggage,
+                parent_id=parent_id,
+            )
+        )

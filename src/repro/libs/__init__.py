@@ -1,0 +1,15 @@
+"""Boki support libraries (§5).
+
+Three libraries built on the LogBook API, demonstrating shared logs for
+stateful serverless:
+
+- :mod:`repro.libs.bokiflow` — fault-tolerant workflows with exactly-once
+  semantics and transactions (Beldi's techniques on LogBooks, §5.1);
+- :mod:`repro.libs.bokistore` — durable JSON object storage with
+  transactions (Tango's techniques, §5.2) and aux-data accelerated log
+  replay (§5.4);
+- :mod:`repro.libs.bokiqueue` — serverless message queues using vCorfu's
+  composable state machine replication (§5.3);
+- :mod:`repro.libs.gc` — garbage-collector functions trimming dead log
+  records for all three libraries (§5.5).
+"""

@@ -1,0 +1,95 @@
+"""BokiFlow transactions: lock-based, Beldi-compatible (§5.1).
+
+Beldi builds serializable transactions from its locks: acquire a lock per
+touched key, buffer writes, apply them exactly-once at commit, release the
+locks. BokiFlow keeps that structure, with locks backed by LogBook state
+machines (:mod:`repro.libs.bokiflow.locks`) instead of DynamoDB conditional
+updates. Locks are acquired in sorted key order (deadlock avoidance); a
+failed acquisition aborts the transaction, releasing everything held.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.libs.bokiflow.env import WorkflowEnv
+from repro.libs.bokiflow.locks import LockState, try_lock, unlock
+
+
+class TxnAbortedError(Exception):
+    """The transaction could not acquire a lock (after retries)."""
+
+
+class WorkflowTxn:
+    """A transaction within a workflow step sequence.
+
+    Usage::
+
+        txn = WorkflowTxn(env)
+        ok = yield from txn.acquire([("flights", fid), ("hotels", hid)])
+        if not ok:
+            return "unavailable"
+        seats = yield from txn.read("flights", fid)
+        txn.write("flights", fid, seats - 1)
+        yield from txn.commit()      # or yield from txn.abort()
+    """
+
+    MAX_LOCK_RETRIES = 3
+    RETRY_BACKOFF = 0.002
+
+    def __init__(self, env: WorkflowEnv):
+        self.env = env
+        self.holder_id = f"{env.workflow_id}/txn@{env.step}"
+        self._locks: List[Tuple[Tuple[str, Any], LockState]] = []
+        self._writes: Dict[Tuple[str, Any], Any] = {}
+        self._done = False
+
+    def acquire(self, keys: List[Tuple[str, Any]]) -> Generator:
+        """Lock every (table, key); returns False (and releases all) if any
+        lock is unavailable after retries."""
+        for table_key in sorted(set(keys), key=repr):
+            state = None
+            for attempt in range(self.MAX_LOCK_RETRIES):
+                state = yield from try_lock(self.env, table_key, self.holder_id)
+                if state is not None:
+                    break
+                yield self.env.book.env.timeout(self.RETRY_BACKOFF * (attempt + 1))
+            if state is None:
+                yield from self._release_all()
+                return False
+            self._locks.append((table_key, state))
+        return True
+
+    def read(self, table: str, key: Any) -> Generator:
+        """Read-through: buffered writes win over the database."""
+        if (table, key) in self._writes:
+            return self._writes[(table, key)]
+        return (yield from self.env.read(table, key))
+
+    def write(self, table: str, key: Any, value: Any) -> None:
+        """Buffer a write; applied exactly-once at commit."""
+        if self._done:
+            raise TxnAbortedError("transaction already finished")
+        self._writes[(table, key)] = value
+
+    def commit(self) -> Generator:
+        """Apply buffered writes (each an exactly-once logged step), then
+        release the locks."""
+        if self._done:
+            raise TxnAbortedError("transaction already finished")
+        for (table, key), value in self._writes.items():
+            yield from self.env.write(table, key, value)
+        yield from self._release_all()
+        self._done = True
+
+    def abort(self) -> Generator:
+        if self._done:
+            return
+        self._writes.clear()
+        yield from self._release_all()
+        self._done = True
+
+    def _release_all(self) -> Generator:
+        for table_key, state in reversed(self._locks):
+            yield from unlock(self.env, table_key, state)
+        self._locks = []

@@ -1,0 +1,23 @@
+"""BokiQueue: serverless message queues over LogBooks (§5.3).
+
+A queue stores both pushes and pops in the log; a pop's outcome is decided
+by replaying the log (the pop takes the oldest un-taken push preceding it).
+For scalability BokiQueue uses vCorfu's composable state machine
+replication (CSMR): the queue is divided into shards, each an independent
+SMR queue consumed by a single consumer (reducing contention); producers
+push to shards round-robin. Auxiliary data caches per-record queue state so
+replay is incremental (§5.4).
+"""
+
+from repro.libs.bokiqueue.leases import ShardLease, acquire_shard, acquire_shard_wait
+from repro.libs.bokiqueue.queue import BokiQueue, QueueConsumer, QueueProducer, shard_tag
+
+__all__ = [
+    "BokiQueue",
+    "QueueConsumer",
+    "QueueProducer",
+    "ShardLease",
+    "acquire_shard",
+    "acquire_shard_wait",
+    "shard_tag",
+]

@@ -1,0 +1,72 @@
+"""Shard leasing: CSMR shard ownership for dynamic consumer fleets.
+
+§5.3's CSMR design requires each queue shard to be consumed by exactly one
+consumer. That 1:1 mapping is easy for a static fleet; ephemeral serverless
+consumers need to *claim* shards dynamically. This module composes
+BokiQueue with BokiFlow's log-backed locks: a consumer leases a free shard
+via ``try_lock`` (linearized by the shared log — two racers can never own
+the same shard), processes it, and releases on exit. Expired/abandoned
+leases are reclaimed by appending a release chained on the stale acquire.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.libs.bokiflow.locks import LockState, try_lock, unlock
+from repro.libs.bokiqueue.queue import BokiQueue, QueueConsumer
+
+
+class ShardLease:
+    """A held lease on one queue shard."""
+
+    def __init__(self, queue: BokiQueue, shard: int, lock_state: LockState, env):
+        self.queue = queue
+        self.shard = shard
+        self._lock_state = lock_state
+        self._env = env
+        self.consumer: QueueConsumer = queue.consumer(shard)
+
+    def release(self) -> Generator:
+        yield from unlock(self._env, _lease_key(self.queue, self.shard), self._lock_state)
+
+
+def _lease_key(queue: BokiQueue, shard: int):
+    return ("qlease", queue.name, shard)
+
+
+def acquire_shard(
+    queue: BokiQueue, env, consumer_id: str, start_shard: int = 0
+) -> Generator:
+    """Claim any free shard of ``queue``; returns a :class:`ShardLease` or
+    None if all shards are held. ``env`` is a BokiFlow WorkflowEnv (the
+    lock substrate); ``consumer_id`` must be unique per consumer instance.
+    ``start_shard`` rotates the scan order so consumers re-acquiring after
+    a release spread over shards instead of piling onto shard 0.
+    """
+    for offset in range(queue.num_shards):
+        shard = (start_shard + offset) % queue.num_shards
+        state = yield from try_lock(env, _lease_key(queue, shard), consumer_id)
+        if state is not None:
+            return ShardLease(queue, shard, state, env)
+    return None
+
+
+def acquire_shard_wait(
+    queue: BokiQueue,
+    env,
+    consumer_id: str,
+    poll_interval: float = 0.005,
+    max_polls: int = 200,
+    start_shard: int = 0,
+) -> Generator:
+    """Blocking variant: poll until a shard frees up (or give up)."""
+    sim_env = queue.book.env
+    for attempt in range(max_polls):
+        lease = yield from acquire_shard(
+            queue, env, consumer_id, start_shard=start_shard + attempt
+        )
+        if lease is not None:
+            return lease
+        yield sim_env.timeout(poll_interval)
+    return None

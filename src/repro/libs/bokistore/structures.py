@@ -1,0 +1,160 @@
+"""Durable data structures over BokiStore (Tango/vCorfu style).
+
+Tango's headline capability is "distributed data structures over a shared
+log" (§2.1, §8); BokiStore gives us JSON objects, and this module builds
+the familiar typed structures on top: a map, a counter, a list, and a
+register. Each structure is one BokiStore object; operations are logged
+updates; reads replay with aux-accelerated views; and because they are
+plain objects, they compose with BokiStore transactions (e.g. atomically
+move an item between two DurableMaps).
+
+All methods are generator functions (``yield from``). Handles are cheap
+and stateless — the durable state lives in the log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.libs.bokistore.store import BokiStore
+from repro.libs.bokistore.txn import Transaction
+
+
+class DurableCounter:
+    """A durable integer counter."""
+
+    def __init__(self, store: BokiStore, name: str):
+        self.store = store
+        self.name = f"counter:{name}"
+
+    def get(self) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        return view.get("value", 0)
+
+    def add(self, amount: int = 1) -> Generator:
+        yield from self.store.update(
+            self.name, [{"op": "inc", "path": "value", "value": amount}]
+        )
+
+    def increment(self) -> Generator:
+        yield from self.add(1)
+
+    def decrement(self) -> Generator:
+        yield from self.add(-1)
+
+
+class DurableRegister:
+    """A durable single-value register."""
+
+    def __init__(self, store: BokiStore, name: str):
+        self.store = store
+        self.name = f"register:{name}"
+
+    def get(self, default: Any = None) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        return view.get("value", default)
+
+    def set(self, value: Any) -> Generator:
+        yield from self.store.update(
+            self.name, [{"op": "set", "path": "value", "value": value}]
+        )
+
+    def compare_and_set(self, expected: Any, value: Any) -> Generator:
+        """Linearizable CAS via a BokiStore transaction: the commit fails
+        if a concurrent write landed in the conflict window."""
+        txn = yield from Transaction(self.store).begin()
+        obj = yield from txn.get_object(self.name)
+        if obj.get("value") != expected:
+            yield from txn.abort()
+            return False
+        obj.set("value", value)
+        return (yield from txn.commit())
+
+
+class DurableMap:
+    """A durable string-keyed map.
+
+    Keys are stored under a ``data`` sub-object; dots in user keys are
+    escaped so they cannot traverse the JSON path.
+    """
+
+    def __init__(self, store: BokiStore, name: str):
+        self.store = store
+        self.name = f"map:{name}"
+
+    @staticmethod
+    def _slot(key: str) -> str:
+        return "data." + str(key).replace(".", "·")
+
+    def get(self, key: str, default: Any = None) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        return view.get(self._slot(key), default)
+
+    def put(self, key: str, value: Any) -> Generator:
+        yield from self.store.update(
+            self.name, [{"op": "set", "path": self._slot(key), "value": value}]
+        )
+
+    def delete(self, key: str) -> Generator:
+        yield from self.store.update(
+            self.name, [{"op": "delete", "path": self._slot(key)}]
+        )
+
+    def contains(self, key: str) -> Generator:
+        sentinel = object()
+        value = yield from self.get(key, sentinel)
+        return value is not sentinel
+
+    def keys(self) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        data = view.get("data", {}) or {}
+        return sorted(k.replace("·", ".") for k in data)
+
+    def items(self) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        data = view.get("data", {}) or {}
+        return sorted((k.replace("·", "."), v) for k, v in data.items())
+
+    def size(self) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        data = view.get("data", {}) or {}
+        return len(data)
+
+
+class DurableList:
+    """A durable append-only-ish list (append, read, pop-front)."""
+
+    def __init__(self, store: BokiStore, name: str):
+        self.store = store
+        self.name = f"list:{name}"
+
+    def append(self, value: Any) -> Generator:
+        yield from self.store.update(
+            self.name, [{"op": "push", "path": "items", "value": value}]
+        )
+
+    def all(self) -> Generator:
+        view = yield from self.store.get_object(self.name)
+        return list(view.get("items", []) or [])
+
+    def length(self) -> Generator:
+        items = yield from self.all()
+        return len(items)
+
+    def get(self, index: int) -> Generator:
+        items = yield from self.all()
+        return items[index]
+
+    def pop_front(self) -> Generator:
+        """Remove and return the first item (None when empty); atomic via
+        a transaction so concurrent pops never take the same item."""
+        txn = yield from Transaction(self.store).begin()
+        obj = yield from txn.get_object(self.name)
+        items = list(obj.get("items", []) or [])
+        if not items:
+            yield from txn.abort()
+            return None
+        head, rest = items[0], items[1:]
+        obj.set("items", rest)
+        committed = yield from txn.commit()
+        return head if committed else None

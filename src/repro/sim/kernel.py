@@ -1,0 +1,338 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic event-loop in the style of SimPy: simulated
+activities are Python generators ("processes") that yield :class:`Event`
+objects; the kernel resumes a process when the event it waits on fires.
+Virtual time only advances between events, so a simulation that models
+minutes of cluster activity runs in milliseconds of wall time and is exactly
+reproducible.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(1.5)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted by another process.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A condition that processes can wait for.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current simulation
+    time. Each event may trigger only once.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result value, or the exception if it failed."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of virtual time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the events it yields.
+
+    A process is itself an event that triggers when the generator returns
+    (value = return value) or raises (the process fails with the exception,
+    which propagates to anything waiting on it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+
+        def do_interrupt(_event: Event) -> None:
+            if not self.is_alive:
+                return
+            # Detach from whatever we were waiting on so the stale resume
+            # callback does nothing when that event fires later.
+            target = self._waiting_on
+            if target is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._waiting_on = None
+            self._step(None, to_throw=Interrupt(cause))
+
+        event.callbacks.append(do_interrupt)
+        event.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Optional[Event], to_throw: Optional[BaseException] = None) -> None:
+        try:
+            if to_throw is not None:
+                target = self._generator.throw(to_throw)
+            elif event is not None and not event.ok:
+                target = self._generator.throw(event.value)
+            else:
+                target = self._generator.send(event.value if event is not None else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            self._generator.close()
+            self.fail(error)
+            return
+        if target.processed:
+            # Already happened: resume immediately (at the current time).
+            bounce = Event(self.env)
+            bounce._ok = target.ok
+            bounce._value = target.value
+            bounce.callbacks.append(self._resume)
+            bounce.env._schedule(bounce)
+            self._waiting_on = bounce
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf combinators."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_event(event)
+            else:
+                event.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {e: e.value for e in self.events if e.triggered and e.ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when any of the given events has triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all of the given events have triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._done >= len(self.events)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus the event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._eid = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        event._state = _TRIGGERED
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + delay, self._eid, event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given the clock is advanced exactly to ``until``
+        even if the heap drains earlier, matching SimPy semantics.
+        """
+        processed = 0
+        while self._heap:
+            at, _, event = self._heap[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = at
+            event._run_callbacks()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers (or ``limit`` virtual time passes).
+
+        Unlike :meth:`run`, this terminates even when perpetual background
+        processes (heartbeats, sweepers) keep the heap non-empty. Returns the
+        event's value; re-raises its exception if it failed.
+        """
+        # Wait for *processed* (callbacks ran), not *triggered*: a Timeout
+        # is triggered (scheduled) at creation, long before it fires.
+        while not event.processed:
+            if limit is not None and self._now >= limit:
+                raise SimulationError(f"run_until hit time limit {limit}")
+            if not self.step():
+                raise SimulationError("event heap drained before event triggered")
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def step(self) -> bool:
+        """Process a single event; returns False if the heap is empty."""
+        if not self._heap:
+            return False
+        at, _, event = heapq.heappop(self._heap)
+        self._now = at
+        event._run_callbacks()
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,136 @@
+"""Measurement helpers: latency recorders, counters, and time series.
+
+Every experiment in the benchmark harness reports through these classes so
+that percentile math is consistent across tables and figures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (p in [0, 100])."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def median(self) -> float:
+        return percentile(self.samples, 50)
+
+    def p99(self) -> float:
+        return percentile(self.samples, 99)
+
+    def p999(self) -> float:
+        return percentile(self.samples, 99.9)
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return sum(self.samples) / len(self.samples)
+
+    def max(self) -> float:
+        return max(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "median": self.median(),
+            "p99": self.p99(),
+            "mean": self.mean(),
+            "max": self.max(),
+        }
+
+
+class Counter:
+    """Counts completions and derives throughput over an interval."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+        self._start: Optional[float] = None
+        self._stop: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self._start = now
+
+    def stop(self, now: float) -> None:
+        self._stop = now
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def throughput(self) -> float:
+        """Completions per second of virtual time over [start, stop]."""
+        if self._start is None or self._stop is None:
+            raise ValueError("counter window not closed")
+        duration = self._stop - self._start
+        if duration <= 0:
+            raise ValueError("empty measurement window")
+        return self.value / duration
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples, used for reconfiguration timelines (Fig. 10/14)."""
+
+    name: str = ""
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Points with start <= time < end (points must be in time order)."""
+        times = [t for t, _ in self.points]
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_left(times, end)
+        return self.points[lo:hi]
+
+    def bucket_percentile(
+        self, start: float, end: float, width: float, p: float
+    ) -> List[Tuple[float, Optional[float]]]:
+        """Percentile of values per time bucket; None for empty buckets."""
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out: List[Tuple[float, Optional[float]]] = []
+        t = start
+        while t < end:
+            values = [v for _, v in self.window(t, min(t + width, end))]
+            out.append((t, percentile(values, p) if values else None))
+            t += width
+        return out

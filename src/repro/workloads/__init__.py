@@ -1,0 +1,16 @@
+"""Workloads driving the evaluation (§7).
+
+- :mod:`repro.workloads.harness` — open/closed-loop load generators and
+  measurement plumbing shared by all experiments.
+- :mod:`repro.workloads.microbench` — append-only and append-and-read
+  LogBook microbenchmarks (§7.1, §7.5).
+- :mod:`repro.workloads.primitives` — Beldi primitive-operation
+  microbenchmark: read / write / cond-write / invoke (Figure 11c).
+- :mod:`repro.workloads.movie` — the movie-review workflow (Figure 11a).
+- :mod:`repro.workloads.travel` — the travel-reservation workflow
+  (Figure 11b).
+- :mod:`repro.workloads.retwis` — the Retwis social-network workload over
+  BokiStore or MongoDB (§7.3, §7.5).
+- :mod:`repro.workloads.queueing` — producer/consumer message-queue
+  workload over BokiQueue, SQS, or Pulsar (§7.4).
+"""

@@ -1,0 +1,153 @@
+"""Load-generation and measurement harness.
+
+Two generator shapes, matching how the paper runs its experiments:
+
+- *closed loop*: N concurrent clients, each looping
+  issue-request -> wait-response; throughput emerges from concurrency and
+  service latency (the append-only microbenchmark, Retwis, queues).
+- *open loop*: Poisson arrivals at a fixed offered rate; latency is
+  measured as a function of load (the latency-vs-throughput curves of
+  Figure 11).
+
+Both warm up before measuring and return a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator
+
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.metrics import LatencyRecorder
+
+
+@dataclass
+class RunResult:
+    """Outcome of one load-generation run."""
+
+    completed: int
+    duration: float
+    latencies: LatencyRecorder
+    errors: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def median_latency(self) -> float:
+        return self.latencies.median()
+
+    def p99_latency(self) -> float:
+        return self.latencies.p99()
+
+    def summary(self) -> Dict[str, float]:
+        out = {"throughput": self.throughput, "completed": float(self.completed)}
+        if self.latencies.count:
+            out["median"] = self.median_latency()
+            out["p99"] = self.p99_latency()
+        return out
+
+
+def run_closed_loop(
+    env: Environment,
+    make_op: Callable[[int], Callable[[], Generator]],
+    num_clients: int,
+    duration: float,
+    warmup: float = 0.05,
+    limit_factor: float = 20.0,
+) -> RunResult:
+    """N clients looping ``op`` back to back for ``duration`` of virtual
+    time (after ``warmup``). ``make_op(client_index)`` returns the client's
+    op factory; each call of the factory yields one request generator."""
+    latencies = LatencyRecorder("closed-loop")
+    state = {"completed": 0, "errors": 0, "stop": False}
+    t_start = env.now + warmup
+    t_end = t_start + duration
+
+    def client(index: int) -> Generator:
+        op_factory = make_op(index)
+        try:
+            while not state["stop"]:
+                started = env.now
+                try:
+                    yield env.process(op_factory(), name=f"client-{index}-op")
+                except Interrupt:
+                    raise
+                except Exception:  # noqa: BLE001 - workload op failed
+                    state["errors"] += 1
+                    continue
+                finished = env.now
+                if t_start <= finished <= t_end:
+                    latencies.record(finished - started)
+                    state["completed"] += 1
+        except Interrupt:
+            return
+
+    clients = [env.process(client(i), name=f"client-{i}") for i in range(num_clients)]
+    stopper = env.timeout(warmup + duration)
+    env.run_until(stopper, limit=env.now + (warmup + duration) * limit_factor + 60.0)
+    state["stop"] = True
+    for proc in clients:
+        if proc.is_alive:
+            proc.interrupt("run over")
+    env.run(until=env.now)  # flush same-time interrupts
+    return RunResult(
+        completed=state["completed"],
+        duration=duration,
+        latencies=latencies,
+        errors=state["errors"],
+    )
+
+
+def run_open_loop(
+    env: Environment,
+    make_op: Callable[[int], Generator],
+    rate: float,
+    duration: float,
+    rng,
+    warmup: float = 0.1,
+    max_in_flight: int = 10_000,
+) -> RunResult:
+    """Poisson arrivals at ``rate`` requests/second; ``make_op(i)`` builds
+    the i-th request generator. Latency measured per completed request."""
+    latencies = LatencyRecorder("open-loop")
+    state = {"completed": 0, "errors": 0, "in_flight": 0, "launched": 0}
+    t_start = env.now + warmup
+    t_end = t_start + duration
+
+    def one_request(i: int) -> Generator:
+        started = env.now
+        state["in_flight"] += 1
+        try:
+            yield env.process(make_op(i), name=f"req-{i}")
+        except Exception:  # noqa: BLE001
+            state["errors"] += 1
+            return
+        finally:
+            state["in_flight"] -= 1
+        finished = env.now
+        if t_start <= finished <= t_end:
+            latencies.record(finished - started)
+            state["completed"] += 1
+
+    def arrival_process() -> Generator:
+        i = 0
+        while env.now < t_end:
+            yield env.timeout(rng.expovariate(rate))
+            if state["in_flight"] < max_in_flight:
+                env.process(one_request(i), name=f"arrival-{i}")
+                state["launched"] += 1
+            i += 1
+
+    arrivals = env.process(arrival_process(), name="arrivals")
+    env.run_until(arrivals, limit=env.now + (warmup + duration) * 50 + 120.0)
+    # Let stragglers finish (up to a grace period) so tail latencies count.
+    env.run(until=env.now + 0.5)
+    return RunResult(
+        completed=state["completed"],
+        duration=duration,
+        latencies=latencies,
+        errors=state["errors"],
+        extra={"offered": rate, "launched": state["launched"]},
+    )

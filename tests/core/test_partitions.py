@@ -1,0 +1,120 @@
+"""Network-partition behavior of the metalog quorum and read paths."""
+
+import pytest
+
+from repro.core import BokiCluster
+from repro.sim.kernel import SimulationError
+
+
+def booted(**kwargs):
+    c = BokiCluster(**kwargs)
+    c.boot()
+    return c
+
+
+class TestMetalogQuorumUnderPartition:
+    def test_one_secondary_partitioned_appends_continue(self):
+        """Quorum 2/3: losing one secondary must not stall ordering."""
+        c = booted()
+        asg = c.term.assignment(0)
+        secondary = next(s for s in asg.sequencers if s != asg.primary)
+        c.net.partition(asg.primary, secondary)
+
+        def flow():
+            book = c.logbook(1)
+            out = []
+            for i in range(5):
+                out.append((yield from book.append({"i": i})))
+            return out
+
+        seqnums = c.drive(flow(), limit=120.0)
+        assert len(seqnums) == 5
+        assert seqnums == sorted(seqnums)
+
+    def test_primary_isolated_from_all_secondaries_stalls_appends(self):
+        """Without a quorum, no new metalog entries: appends block (no
+        unsafe progress) until the partition heals."""
+        c = booted()
+        asg = c.term.assignment(0)
+        for secondary in asg.sequencers:
+            if secondary != asg.primary:
+                c.net.partition(asg.primary, secondary)
+
+        done = []
+
+        def appender():
+            book = c.logbook(1)
+            seqnum = yield from book.append("blocked?")
+            done.append(seqnum)
+
+        proc = c.env.process(appender())
+        c.env.run(until=c.env.now + 0.5)
+        assert done == []  # stalled, not lost, not misordered
+
+        # Heal: the append completes.
+        c.net.heal_all()
+        c.env.run_until(proc, limit=c.env.now + 120.0)
+        assert len(done) == 1
+
+    def test_storage_partitioned_from_appender_retries_until_heal(self):
+        c = booted(num_function_nodes=1, num_storage_nodes=3)
+        engine_name = c.function_nodes[0].name
+        backers = c.term.assignment(0).shard_storage[engine_name]
+        c.net.partition(engine_name, backers[0])
+        done = []
+
+        def appender():
+            book = c.logbook(1)
+            done.append((yield from book.append("delayed")))
+
+        proc = c.env.process(appender())
+        c.env.run(until=c.env.now + 0.2)
+        assert done == []  # cannot fully replicate yet
+
+        def healer():
+            c.net.heal_all()
+            if False:
+                yield
+
+        c.env.process(healer())
+        c.env.run_until(proc, limit=c.env.now + 120.0)
+        assert len(done) == 1
+
+    def test_partitioned_record_not_readable_before_fully_replicated(self):
+        """The global progress vector is the min over backers: a record
+        not yet on all its shard's storage nodes is never ordered, so
+        readers can never observe it (no phantom reads)."""
+        c = booted(num_function_nodes=2, num_storage_nodes=3, index_engines_per_log=2)
+        engine_name = c.function_nodes[0].name
+        backers = c.term.assignment(0).shard_storage[engine_name]
+        c.net.partition(engine_name, backers[0])
+
+        def stuck_appender():
+            book = c.logbook(1, engine=c.engine_of(engine_name))
+            yield from book.append("half-replicated")
+
+        c.env.process(stuck_appender())
+        c.env.run(until=c.env.now + 0.3)
+
+        def reader():
+            book = c.logbook(1, engine=c.engine_of(c.function_nodes[1].name))
+            return (yield from book.check_tail())
+
+        assert c.drive(reader(), limit=120.0) is None
+
+
+class TestCoordinationPartition:
+    def test_partitioned_node_session_expires(self):
+        """A node partitioned from the coordination service looks dead:
+        its session expires and the controller reconfigures around it."""
+        c = BokiCluster(num_sequencer_nodes=6, use_coord_sessions=True)
+        c.boot()
+        primary = c.term.assignment(0).primary
+        c.net.partition(primary, "coord")
+
+        def flow():
+            yield c.env.timeout(8.0)
+
+        c.drive(flow(), limit=120.0)
+        assert c.controller.reconfig_count >= 1
+        assert c.controller.current_term.assignment(0).primary != primary

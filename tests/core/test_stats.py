@@ -1,0 +1,84 @@
+"""Tests for the cluster observability snapshot."""
+
+import pytest
+
+from repro.core import BokiCluster
+from repro.core.stats import collect_stats
+
+
+@pytest.fixture
+def cluster():
+    c = BokiCluster(num_function_nodes=2, index_engines_per_log=2)
+    c.boot()
+    return c
+
+
+def test_counts_reflect_activity(cluster):
+    def flow():
+        book = cluster.logbook(1)
+        for i in range(5):
+            yield from book.append({"i": i}, tags=[2])
+        for _ in range(3):
+            yield from book.read_next(tag=2, min_seqnum=0)
+
+    cluster.drive(flow())
+    stats = collect_stats(cluster)
+    assert stats.total_appends() == 5
+    assert stats.total_reads() >= 3
+    assert stats.term_id == 1
+    assert stats.reconfigurations == 0
+    assert stats.messages_sent > 0
+
+
+def test_storage_and_sequencer_stats(cluster):
+    def flow():
+        book = cluster.logbook(1)
+        seqnum = yield from book.append("x", tags=[2])
+        yield from book.trim(seqnum, tag=2)
+        yield cluster.env.timeout(0.05)
+
+    cluster.drive(flow())
+    stats = collect_stats(cluster)
+    assert stats.total_trimmed() > 0
+    assert sum(s.entries_appended for s in stats.sequencers.values()) > 0
+
+
+def test_cache_hit_rate_computed(cluster):
+    def flow():
+        book = cluster.logbook(1)
+        seqnum = yield from book.append("x", tags=[2])
+        yield from book.read_next(tag=2, min_seqnum=seqnum)
+        yield from book.read_next(tag=2, min_seqnum=seqnum)
+
+    cluster.drive(flow())
+    stats = collect_stats(cluster)
+    rates = [e.cache_hit_rate for e in stats.engines.values()]
+    assert any(rate > 0 for rate in rates)
+
+
+def test_summary_lines_render(cluster):
+    def flow():
+        book = cluster.logbook(1)
+        yield from book.append("x")
+
+    cluster.drive(flow())
+    lines = collect_stats(cluster).summary_lines()
+    assert any("appends=1" in line for line in lines)
+    assert any(line.strip().startswith("engine") for line in lines)
+    assert any(line.strip().startswith("storage") for line in lines)
+
+
+def test_sealed_replicas_after_reconfig():
+    c = BokiCluster(num_sequencer_nodes=6)
+    c.boot()
+
+    def flow():
+        book = c.logbook(1)
+        yield from book.append("x")
+        yield from c.controller.reconfigure()
+
+    c.drive(flow(), limit=120.0)
+    stats = collect_stats(c)
+    assert stats.reconfigurations == 1
+    assert stats.term_id == 2
+    assert sum(s.sealed_replicas for s in stats.sequencers.values()) >= 2

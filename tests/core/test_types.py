@@ -1,0 +1,121 @@
+"""Unit tests for seqnums, records, and metalog positions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import (
+    MAX_LOG,
+    MAX_POS,
+    MAX_SEQNUM,
+    MAX_TERM,
+    LogRecord,
+    MetalogPosition,
+    merge_positions,
+    pack_seqnum,
+    seqnum_log_id,
+    seqnum_pos,
+    seqnum_term,
+    unpack_seqnum,
+)
+
+
+class TestSeqnum:
+    def test_pack_unpack_roundtrip(self):
+        assert unpack_seqnum(pack_seqnum(3, 7, 1234)) == (3, 7, 1234)
+
+    def test_accessors(self):
+        s = pack_seqnum(5, 2, 99)
+        assert seqnum_term(s) == 5
+        assert seqnum_log_id(s) == 2
+        assert seqnum_pos(s) == 99
+
+    def test_zero(self):
+        assert pack_seqnum(0, 0, 0) == 0
+
+    def test_max_values(self):
+        s = pack_seqnum(MAX_TERM, MAX_LOG, MAX_POS)
+        assert s == MAX_SEQNUM
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_seqnum(MAX_TERM + 1, 0, 0)
+        with pytest.raises(ValueError):
+            pack_seqnum(0, MAX_LOG + 1, 0)
+        with pytest.raises(ValueError):
+            pack_seqnum(0, 0, MAX_POS + 1)
+        with pytest.raises(ValueError):
+            pack_seqnum(-1, 0, 0)
+
+    def test_term_dominates_order(self):
+        """Seqnum order matches chronological term order (§4.2)."""
+        old_term = pack_seqnum(1, 5, MAX_POS)
+        new_term = pack_seqnum(2, 0, 0)
+        assert old_term < new_term
+
+    def test_pos_orders_within_log(self):
+        assert pack_seqnum(1, 3, 10) < pack_seqnum(1, 3, 11)
+
+    @given(
+        st.integers(0, MAX_TERM),
+        st.integers(0, MAX_LOG),
+        st.integers(0, MAX_POS),
+    )
+    def test_roundtrip_property(self, term, log, pos):
+        assert unpack_seqnum(pack_seqnum(term, log, pos)) == (term, log, pos)
+
+    @given(
+        st.tuples(st.integers(0, MAX_TERM), st.integers(0, 3), st.integers(0, MAX_POS)),
+        st.tuples(st.integers(0, MAX_TERM), st.integers(0, 3), st.integers(0, MAX_POS)),
+    )
+    def test_same_log_order_matches_tuple_order(self, a, b):
+        """For records of the same physical log, integer seqnum order
+        equals (term, pos) lexicographic order."""
+        a = (a[0], 1, a[2])
+        b = (b[0], 1, b[2])
+        sa, sb = pack_seqnum(*a), pack_seqnum(*b)
+        assert (sa < sb) == ((a[0], a[2]) < (b[0], b[2]))
+
+
+class TestLogRecord:
+    def test_tags_become_tuple(self):
+        r = LogRecord(seqnum=1, tags=[3, 4], data="x")
+        assert r.tags == (3, 4)
+
+    def test_size_accounts_for_data(self):
+        small = LogRecord(seqnum=1, tags=(), data="x")
+        big = LogRecord(seqnum=2, tags=(), data="x" * 1024)
+        assert big.size_bytes() - small.size_bytes() == 1023
+
+    def test_size_of_dict_data(self):
+        r = LogRecord(seqnum=1, tags=(), data={"key": "value"})
+        assert r.size_bytes() > 0
+
+
+class TestMetalogPosition:
+    def test_ordering_term_major(self):
+        assert MetalogPosition(1, 100) < MetalogPosition(2, 0)
+        assert MetalogPosition(1, 5) < MetalogPosition(1, 6)
+
+    def test_zero(self):
+        assert MetalogPosition.zero() == MetalogPosition(0, 0)
+
+    def test_advance_to(self):
+        a = MetalogPosition(1, 5)
+        b = MetalogPosition(1, 9)
+        assert a.advance_to(b) == b
+        assert b.advance_to(a) == b
+
+    def test_merge_positions(self):
+        a = {0: MetalogPosition(1, 5), 1: MetalogPosition(1, 2)}
+        b = {0: MetalogPosition(1, 3), 2: MetalogPosition(1, 7)}
+        merged = merge_positions(a, b)
+        assert merged == {
+            0: MetalogPosition(1, 5),
+            1: MetalogPosition(1, 2),
+            2: MetalogPosition(1, 7),
+        }
+
+    def test_merge_is_commutative(self):
+        a = {0: MetalogPosition(2, 1)}
+        b = {0: MetalogPosition(1, 9)}
+        assert merge_positions(a, b) == merge_positions(b, a)

@@ -1,0 +1,18 @@
+"""Shared fixtures for support-library tests."""
+
+import pytest
+
+from repro.baselines.dynamodb import DynamoDBService
+from repro.core import BokiCluster
+
+
+@pytest.fixture
+def cluster():
+    c = BokiCluster(num_function_nodes=4, index_engines_per_log=4)
+    DynamoDBService(c.env, c.net, c.streams)
+    c.boot()
+    return c
+
+
+def drive(cluster, gen, limit=600.0):
+    return cluster.drive(gen, limit=limit)

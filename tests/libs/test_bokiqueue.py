@@ -1,0 +1,200 @@
+"""Tests for BokiQueue: log-backed FIFO shards, CSMR (§5.3)."""
+
+import pytest
+
+from repro.libs.bokiqueue import BokiQueue, QueueConsumer, QueueProducer
+from tests.libs.conftest import drive
+
+
+def make_queue(cluster, name="q", num_shards=1, book_id=11):
+    return BokiQueue(cluster.logbook(book_id), name, num_shards=num_shards)
+
+
+class TestSingleShard:
+    def test_push_pop_roundtrip(self, cluster):
+        q = make_queue(cluster)
+
+        def flow():
+            producer = q.producer()
+            consumer = q.consumer(0)
+            yield from producer.push("hello")
+            return (yield from consumer.pop())
+
+        assert drive(cluster, flow()) == "hello"
+
+    def test_fifo_order(self, cluster):
+        q = make_queue(cluster)
+
+        def flow():
+            producer = q.producer()
+            consumer = q.consumer(0)
+            for i in range(5):
+                yield from producer.push(i)
+            out = []
+            for _ in range(5):
+                out.append((yield from consumer.pop()))
+            return out
+
+        assert drive(cluster, flow()) == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_returns_none(self, cluster):
+        q = make_queue(cluster)
+
+        def flow():
+            consumer = q.consumer(0)
+            return (yield from consumer.pop())
+
+        assert drive(cluster, flow()) is None
+
+    def test_pop_after_drain_returns_none(self, cluster):
+        q = make_queue(cluster)
+
+        def flow():
+            producer = q.producer()
+            consumer = q.consumer(0)
+            yield from producer.push("only")
+            first = yield from consumer.pop()
+            second = yield from consumer.pop()
+            return first, second
+
+        assert drive(cluster, flow()) == ("only", None)
+
+    def test_interleaved_push_pop(self, cluster):
+        q = make_queue(cluster)
+
+        def flow():
+            producer = q.producer()
+            consumer = q.consumer(0)
+            yield from producer.push("a")
+            a = yield from consumer.pop()
+            yield from producer.push("b")
+            yield from producer.push("c")
+            b = yield from consumer.pop()
+            c = yield from consumer.pop()
+            return a, b, c
+
+        assert drive(cluster, flow()) == ("a", "b", "c")
+
+    def test_each_message_delivered_once(self, cluster):
+        """Pops from the same shard never deliver a message twice, even
+        issued concurrently (the log linearizes them)."""
+        q = make_queue(cluster)
+        popped = []
+
+        def produce():
+            producer = q.producer()
+            for i in range(6):
+                yield from producer.push(i)
+
+        drive(cluster, produce())
+        consumer = q.consumer(0)
+
+        def pop_one():
+            value = yield from consumer.pop()
+            popped.append(value)
+
+        procs = [cluster.env.process(pop_one()) for _ in range(6)]
+        for proc in procs:
+            cluster.env.run_until(proc, limit=300.0)
+        assert sorted(popped) == [0, 1, 2, 3, 4, 5]
+
+    def test_pop_wait_blocks_until_push(self, cluster):
+        q = make_queue(cluster)
+        got = []
+
+        def consumer_flow():
+            consumer = q.consumer(0)
+            value = yield from consumer.pop_wait()
+            got.append((value, cluster.env.now))
+
+        def producer_flow():
+            yield cluster.env.timeout(0.05)
+            producer = q.producer()
+            yield from producer.push("late")
+
+        pc = cluster.env.process(consumer_flow())
+        pp = cluster.env.process(producer_flow())
+        cluster.env.run_until(pc, limit=300.0)
+        assert got[0][0] == "late"
+        assert got[0][1] >= 0.05
+
+
+class TestSharding:
+    def test_round_robin_across_shards(self, cluster):
+        q = make_queue(cluster, num_shards=3)
+
+        def flow():
+            producer = q.producer()
+            for i in range(6):
+                yield from producer.push(i)
+            out = {}
+            for shard in range(3):
+                consumer = q.consumer(shard)
+                out[shard] = []
+                while True:
+                    value = yield from consumer.pop()
+                    if value is None:
+                        break
+                    out[shard].append(value)
+            return out
+
+        result = drive(cluster, flow())
+        assert result == {0: [0, 3], 1: [1, 4], 2: [2, 5]}
+
+    def test_all_messages_consumed_once_across_shards(self, cluster):
+        q = make_queue(cluster, num_shards=4)
+
+        def flow():
+            producer = q.producer()
+            for i in range(20):
+                yield from producer.push(i)
+            seen = []
+            for shard in range(4):
+                consumer = q.consumer(shard)
+                while True:
+                    value = yield from consumer.pop()
+                    if value is None:
+                        break
+                    seen.append(value)
+            return sorted(seen)
+
+        assert drive(cluster, flow()) == list(range(20))
+
+    def test_shard_out_of_range(self, cluster):
+        q = make_queue(cluster, num_shards=2)
+        with pytest.raises(ValueError):
+            q.consumer(2)
+
+    def test_invalid_shard_count(self, cluster):
+        with pytest.raises(ValueError):
+            make_queue(cluster, num_shards=0)
+
+    def test_queues_isolated_by_name(self, cluster):
+        q1 = make_queue(cluster, name="q1")
+        q2 = make_queue(cluster, name="q2")
+
+        def flow():
+            yield from q1.producer().push("for-q1")
+            v2 = yield from q2.consumer(0).pop()
+            v1 = yield from q1.consumer(0).pop()
+            return v1, v2
+
+        assert drive(cluster, flow()) == ("for-q1", None)
+
+
+class TestAuxState:
+    def test_replay_uses_cached_state(self, cluster):
+        """After a pop caches shard state, the next pop replays only new
+        records (state resumes from aux)."""
+        q = make_queue(cluster)
+
+        def flow():
+            producer = q.producer()
+            consumer = q.consumer(0)
+            for i in range(10):
+                yield from producer.push(i)
+            first = yield from consumer.pop()
+            second = yield from consumer.pop()
+            return first, second
+
+        assert drive(cluster, flow()) == (0, 1)

@@ -1,0 +1,151 @@
+"""Tests for the garbage-collector functions (§5.5)."""
+
+import pytest
+
+from repro.libs.bokiflow import BokiFlowRuntime
+from repro.libs.bokiflow.env import step_tag
+from repro.libs.bokiqueue import BokiQueue
+from repro.libs.bokistore import BokiStore, object_tag
+from repro.libs.gc import gc_deleted_objects, gc_queue, gc_workflow
+from tests.libs.conftest import drive
+
+
+def set_op(path, value):
+    return {"op": "set", "path": path, "value": value}
+
+
+class TestWorkflowGC:
+    def test_completed_workflow_trimmed(self, cluster):
+        runtime = BokiFlowRuntime(cluster)
+
+        def body(env, arg):
+            yield from env.write("t", "k", "v")
+            return "ok"
+
+        runtime.register_workflow("wf", body)
+
+        def flow():
+            wf_id = runtime.new_workflow_id()
+            yield from runtime.start_workflow("wf", book_id=1, workflow_id=wf_id)
+            book = cluster.logbook(1)
+            trimmed = yield from gc_workflow(book, wf_id, steps=2)
+            yield cluster.env.timeout(0.05)
+            # The step's record must be gone from the index.
+            leftover = yield from book.read_next(tag=step_tag(wf_id, 0), min_seqnum=0)
+            return trimmed, leftover
+
+        trimmed, leftover = drive(cluster, flow())
+        assert trimmed is True
+        assert leftover is None
+
+    def test_incomplete_workflow_not_trimmed(self, cluster):
+        runtime = BokiFlowRuntime(cluster)
+
+        def flow():
+            book = cluster.logbook(1)
+            # Workflow never ran: no done marker.
+            return (yield from gc_workflow(book, "never-ran", steps=1))
+
+        assert drive(cluster, flow()) is False
+
+
+class TestStoreGC:
+    def test_deleted_object_trimmed(self, cluster):
+        def flow():
+            book = cluster.logbook(2)
+            store = BokiStore(book)
+            yield from store.update("x", [set_op("v", 1)])
+            yield from store.delete_object("x")
+            trimmed = yield from gc_deleted_objects(book, store, ["x"])
+            yield cluster.env.timeout(0.05)
+            leftover = yield from book.read_next(tag=object_tag("x"), min_seqnum=0)
+            return trimmed, leftover
+
+        trimmed, leftover = drive(cluster, flow())
+        assert trimmed == ["x"]
+        assert leftover is None
+
+    def test_live_object_not_trimmed(self, cluster):
+        def flow():
+            book = cluster.logbook(2)
+            store = BokiStore(book)
+            yield from store.update("x", [set_op("v", 1)])
+            trimmed = yield from gc_deleted_objects(book, store, ["x"])
+            view = yield from store.get_object("x")
+            return trimmed, view.get("v")
+
+        assert drive(cluster, flow()) == ([], 1)
+
+    def test_recreated_object_not_trimmed(self, cluster):
+        def flow():
+            book = cluster.logbook(2)
+            store = BokiStore(book)
+            yield from store.update("x", [set_op("v", 1)])
+            yield from store.delete_object("x")
+            yield from store.update("x", [set_op("v", 2)])
+            trimmed = yield from gc_deleted_objects(book, store, ["x"])
+            view = yield from store.get_object("x")
+            return trimmed, view.get("v")
+
+        assert drive(cluster, flow()) == ([], 2)
+
+
+class TestQueueGC:
+    def test_drained_shard_fully_trimmed(self, cluster):
+        def flow():
+            q = BokiQueue(cluster.logbook(3), "q")
+            producer, consumer = q.producer(), q.consumer(0)
+            for i in range(3):
+                yield from producer.push(i)
+            for _ in range(3):
+                yield from consumer.pop()
+            trimmed = yield from gc_queue(q)
+            yield cluster.env.timeout(0.05)
+            # Queue still works after trim.
+            yield from producer.push("post-gc")
+            value = yield from consumer.pop()
+            return trimmed, value
+
+        trimmed, value = drive(cluster, flow())
+        assert trimmed[0] is not None
+        assert value == "post-gc"
+
+    def test_pending_messages_survive_gc(self, cluster):
+        def flow():
+            q = BokiQueue(cluster.logbook(3), "q")
+            producer, consumer = q.producer(), q.consumer(0)
+            yield from producer.push("a")
+            yield from producer.push("b")
+            yield from consumer.pop()  # takes "a"; "b" still pending
+            yield from gc_queue(q)
+            yield cluster.env.timeout(0.05)
+            return (yield from consumer.pop())
+
+        assert drive(cluster, flow()) == "b"
+
+    def test_empty_queue_gc_noop(self, cluster):
+        def flow():
+            q = BokiQueue(cluster.logbook(3), "q-empty")
+            return (yield from gc_queue(q))
+
+        assert drive(cluster, flow()) == [None]
+
+    def test_gc_preserves_fifo_after_partial_drain(self, cluster):
+        """GC must only trim at empty points: replay after GC still
+        assigns pops the right pushes."""
+        def flow():
+            q = BokiQueue(cluster.logbook(3), "q")
+            producer, consumer = q.producer(), q.consumer(0)
+            yield from producer.push(1)
+            yield from producer.push(2)
+            yield from consumer.pop()  # 1
+            yield from gc_queue(q)     # cannot trim past push(2)
+            yield c_timeout(cluster)
+            second = yield from consumer.pop()
+            third = yield from consumer.pop()
+            return second, third
+
+        def c_timeout(c):
+            return c.env.timeout(0.05)
+
+        assert drive(cluster, flow()) == (2, None)

@@ -1,0 +1,132 @@
+"""Unit tests for BokiStore's JSON path operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.libs.bokistore.jsonpath import (
+    PathError,
+    apply_op,
+    apply_ops,
+    delete_path,
+    get_path,
+    inc_path,
+    make_array_path,
+    push_array_path,
+    set_path,
+)
+
+
+class TestPaths:
+    def test_set_and_get_nested(self):
+        obj = {}
+        set_path(obj, "a.b.c", 42)
+        assert obj == {"a": {"b": {"c": 42}}}
+        assert get_path(obj, "a.b.c") == 42
+
+    def test_get_missing_returns_default(self):
+        assert get_path({}, "x.y", "dflt") == "dflt"
+
+    def test_get_through_non_dict_returns_default(self):
+        assert get_path({"a": 5}, "a.b") is None
+
+    def test_set_overwrites(self):
+        obj = {"a": 1}
+        set_path(obj, "a", 2)
+        assert obj == {"a": 2}
+
+    def test_set_through_scalar_raises(self):
+        obj = {"a": 5}
+        with pytest.raises(PathError):
+            set_path(obj, "a.b", 1)
+
+    def test_delete(self):
+        obj = {"a": {"b": 1, "c": 2}}
+        delete_path(obj, "a.b")
+        assert obj == {"a": {"c": 2}}
+
+    def test_delete_missing_is_noop(self):
+        obj = {"a": 1}
+        delete_path(obj, "x.y")
+        assert obj == {"a": 1}
+
+    def test_inc(self):
+        obj = {"n": 10}
+        inc_path(obj, "n", -3)
+        assert obj["n"] == 7
+
+    def test_inc_creates_from_zero(self):
+        obj = {}
+        inc_path(obj, "n", 5)
+        assert obj["n"] == 5
+
+    def test_inc_non_number_raises(self):
+        with pytest.raises(PathError):
+            inc_path({"n": "str"}, "n", 1)
+
+    def test_arrays(self):
+        obj = {}
+        make_array_path(obj, "a.d")
+        push_array_path(obj, "a.d", 1)
+        push_array_path(obj, "a.d", 2)
+        assert obj == {"a": {"d": [1, 2]}}
+
+    def test_push_creates_array(self):
+        obj = {}
+        push_array_path(obj, "xs", "v")
+        assert obj == {"xs": ["v"]}
+
+    def test_push_on_scalar_raises(self):
+        with pytest.raises(PathError):
+            push_array_path({"xs": 5}, "xs", 1)
+
+    def test_empty_path_raises(self):
+        with pytest.raises(PathError):
+            get_path({}, "")
+
+
+class TestOps:
+    def test_figure6c_sequence(self):
+        """The exact sequence from Figure 6c."""
+        obj = {"a": {}, "b": "foo"}
+        apply_op(obj, {"op": "set", "path": "a.c", "value": "bar"})
+        assert obj == {"a": {"c": "bar"}, "b": "foo"}
+        apply_op(obj, {"op": "make_array", "path": "a.d"})
+        apply_op(obj, {"op": "push", "path": "a.d", "value": 1})
+        assert obj == {"a": {"c": "bar", "d": [1]}, "b": "foo"}
+
+    def test_apply_ops_on_none_creates(self):
+        obj = apply_ops(None, [{"op": "set", "path": "k", "value": 1}])
+        assert obj == {"k": 1}
+
+    def test_replace(self):
+        obj = {"old": 1}
+        apply_op(obj, {"op": "replace", "value": {"new": 2}})
+        assert obj == {"new": 2}
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(PathError):
+            apply_op({}, {"op": "explode"})
+
+    def test_ops_deep_copy_values(self):
+        """Logged values must not be aliased into the object state."""
+        value = {"inner": [1]}
+        obj = apply_ops(None, [{"op": "set", "path": "k", "value": value}])
+        value["inner"].append(2)
+        assert obj["k"]["inner"] == [1]
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "a.c", "b.d"]), st.integers()),
+            max_size=20,
+        )
+    )
+    def test_replay_determinism_property(self, writes):
+        """Applying the same op list twice yields identical objects —
+        the invariant log replay depends on."""
+        ops = [{"op": "set", "path": p, "value": v} for p, v in writes]
+        try:
+            first = apply_ops(None, list(ops))
+            second = apply_ops(None, list(ops))
+        except PathError:
+            return  # conflicting path shapes: rejection is also deterministic
+        assert first == second

@@ -1,0 +1,142 @@
+"""Additional library behaviors: blind puts, queue cold starts, flow
+control, multi-term library operation."""
+
+import pytest
+
+from repro.libs.bokiqueue import BokiQueue
+from repro.libs.bokistore import BokiStore, Transaction
+from tests.libs.conftest import drive
+
+
+class TestBokiStorePut:
+    def test_blind_put_roundtrip(self, cluster):
+        store = BokiStore(cluster.logbook(14))
+
+        def flow():
+            yield from store.put("kv-key", {"v": 7})
+            view = yield from store.get_object("kv-key")
+            return view.as_dict()
+
+        assert drive(cluster, flow()) == {"v": 7}
+
+    def test_put_replaces_whole_object(self, cluster):
+        store = BokiStore(cluster.logbook(14))
+
+        def flow():
+            yield from store.update("x", [{"op": "set", "path": "a", "value": 1}])
+            yield from store.put("x", {"b": 2})
+            view = yield from store.get_object("x")
+            return view.as_dict()
+
+        assert drive(cluster, flow()) == {"b": 2}
+
+    def test_put_participates_in_conflict_detection(self, cluster):
+        store = BokiStore(cluster.logbook(14))
+
+        def flow():
+            txn = yield from Transaction(store).begin()
+            obj = yield from txn.get_object("x")
+            obj.set("v", "txn")
+            yield from store.put("x", {"v": "blind"})  # conflicting write
+            return (yield from txn.commit())
+
+        assert drive(cluster, flow()) is False
+
+
+class TestQueueColdStart:
+    def test_fresh_consumer_resumes_from_aux(self, cluster):
+        """A new consumer instance (ephemeral function restart) must agree
+        with the old one's pops via the aux-cached shard states."""
+        q = BokiQueue(cluster.logbook(15), "cold", num_shards=1)
+
+        def flow():
+            producer = q.producer()
+            for i in range(6):
+                yield from producer.push(i)
+            first_consumer = q.consumer(0)
+            a = yield from first_consumer.pop()
+            b = yield from first_consumer.pop()
+            # Simulate a function restart: brand-new consumer object with
+            # no in-memory local view.
+            second_consumer = q.consumer(0)
+            c = yield from second_consumer.pop()
+            d = yield from second_consumer.pop()
+            return [a, b, c, d]
+
+        assert drive(cluster, flow()) == [0, 1, 2, 3]
+
+    def test_producer_flow_control_blocks_at_backlog(self, cluster):
+        q = BokiQueue(cluster.logbook(16), "fc", num_shards=1)
+        env = cluster.env
+        progress = []
+
+        def producer_flow():
+            producer = q.producer(max_backlog=4)
+            for i in range(12):
+                yield from producer.push(i)
+                progress.append((i, env.now))
+
+        def consumer_flow():
+            consumer = q.consumer(0)
+            yield env.timeout(0.3)  # consumers arrive late
+            drained = 0
+            while drained < 12:
+                value = yield from consumer.pop_wait(poll_interval=0.002)
+                if value is None:
+                    break
+                drained += 1
+            return drained
+
+        p = env.process(producer_flow())
+        c = env.process(consumer_flow())
+        drained = env.run_until(c, limit=300.0)
+        env.run_until(p, limit=300.0)
+        assert drained == 12
+        # The producer was stalled until consumers started (~0.3s).
+        produced_early = [i for i, t in progress if t < 0.25]
+        assert len(produced_early) <= 8  # backlog quota (4) + check period
+
+
+class TestLibrariesAcrossTerms:
+    def test_store_survives_reconfiguration(self, cluster):
+        store = BokiStore(cluster.logbook(17))
+
+        def flow():
+            yield from store.update("obj", [{"op": "set", "path": "v", "value": 1}])
+            yield from cluster.controller.reconfigure()
+            yield from store.update("obj", [{"op": "inc", "path": "v", "value": 1}])
+            view = yield from store.get_object("obj")
+            return view.get("v")
+
+        assert drive(cluster, flow()) == 2
+
+    def test_queue_survives_reconfiguration(self, cluster):
+        q = BokiQueue(cluster.logbook(18), "terms", num_shards=1)
+
+        def flow():
+            producer, consumer = q.producer(), q.consumer(0)
+            yield from producer.push("old-term")
+            yield from cluster.controller.reconfigure()
+            yield from producer.push("new-term")
+            a = yield from consumer.pop()
+            b = yield from consumer.pop()
+            return a, b
+
+        assert drive(cluster, flow()) == ("old-term", "new-term")
+
+    def test_store_records_found_after_log_count_change(self, cluster):
+        """Records written before a num_logs change remain readable via
+        the term-history read routing."""
+        store = BokiStore(cluster.logbook(19))
+
+        def flow():
+            yield from store.update("obj", [{"op": "set", "path": "v", "value": "pre"}])
+            yield from cluster.controller.reconfigure(num_logs=2)
+            view = yield from store.get_object("obj")
+            yield from store.update("obj", [{"op": "set", "path": "w", "value": "post"}])
+            final = yield from store.get_object("obj")
+            return view.get("v"), final.as_dict()
+
+        pre, final = drive(cluster, flow())
+        assert pre == "pre"
+        assert final == {"v": "pre", "w": "post"}

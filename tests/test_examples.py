@@ -1,0 +1,29 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples double as end-to-end acceptance tests (each asserts its own
+outcome internally), so breaking one is a test failure, not a docs bug.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys):
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / f"{example}.py"), run_name="__main__")
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates its progress
