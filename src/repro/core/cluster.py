@@ -95,6 +95,45 @@ class BokiCluster:
         self._use_coord_sessions = use_coord_sessions
         self.term: Optional[TermConfig] = None
         self._book_rr = itertools.count()
+        self.obs = None
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+    def enable_observability(self, profile: bool = False):
+        """Switch on distributed tracing (and optionally kernel profiling)
+        for every component; returns the :class:`~repro.obs.ObsRecorder`.
+
+        Tracing is purely observational — it creates no simulation events,
+        so enabling it does not change virtual-time results.
+        """
+        from repro.obs import ObsRecorder
+
+        if self.obs is not None:
+            return self.obs
+        obs = self.obs = ObsRecorder(self.env, profile=profile)
+        self.net.obs = obs
+        self.gateway.obs = obs
+        for fnode in self.function_nodes:
+            fnode.obs = obs
+        for engine in self.engines.values():
+            engine.obs = obs
+        for snode in self.storage_nodes:
+            snode.obs = obs
+        for qnode in self.sequencer_nodes:
+            qnode.obs = obs
+        if profile:
+            for name, node in self.net.nodes.items():
+                obs.profiler.attach_node(node)
+        return obs
+
+    def metrics_snapshot(self):
+        """Current cluster metrics as a :class:`~repro.obs.MetricsRegistry`
+        (component counters plus any live obs metrics)."""
+        from repro.obs import registry_from_cluster
+
+        registry = self.obs.metrics if self.obs is not None else None
+        return registry_from_cluster(self, registry)
 
     # ------------------------------------------------------------------
     # Lifecycle

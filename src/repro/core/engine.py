@@ -25,6 +25,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.cache import RecordCache
 from repro.core.config import BokiConfig, TermConfig
+from repro.obs.recorder import DISABLED
 from repro.core.index import LogIndex
 from repro.core.metalog import MetalogEntry
 from repro.core.ordering import delta_set
@@ -90,6 +91,7 @@ class LogBookEngine:
         self.appends_started = 0
         self.reads_served = 0
         self.remote_reads = 0
+        self.obs = DISABLED
         node.handle("metalog.entry", self._h_metalog_entry)
         node.handle("index.meta", self._h_index_meta)
         node.handle("engine.read", self._h_engine_read)
@@ -189,6 +191,16 @@ class LogBookEngine:
         """Append a record; returns ``(seqnum, position)`` where ``position``
         is the metalog position whose entry ordered the record (the caller's
         new read-your-writes floor). Retries transparently across terms."""
+        if not self.obs.enabled:
+            return (yield from self._append(book_id, tags, data))
+        with self.obs.tracer.span(
+            "engine.append", node=self.name, kind="engine", attrs={"book_id": book_id}
+        ) as span:
+            seqnum, position = yield from self._append(book_id, tags, data)
+            span.set_attr("seqnum", seqnum)
+            return seqnum, position
+
+    def _append(self, book_id: int, tags: Tuple[int, ...], data: Any) -> Generator:
         self.appends_started += 1
         while True:
             term_config = self.term_config
@@ -247,6 +259,16 @@ class LogBookEngine:
     def _replicate(self, asg, shard: str, payload: dict, term_config: TermConfig) -> Generator:
         """Replicate to every storage node backing our shard; True when all
         acked, False if the term changed under us (caller retries)."""
+        if not self.obs.enabled:
+            return (yield from self._replicate_impl(asg, shard, payload, term_config))
+        with self.obs.tracer.span(
+            "engine.replicate", node=self.name, kind="engine", attrs={"shard": shard}
+        ) as span:
+            ok = yield from self._replicate_impl(asg, shard, payload, term_config)
+            span.set_attr("acked", ok)
+            return ok
+
+    def _replicate_impl(self, asg, shard: str, payload: dict, term_config: TermConfig) -> Generator:
         backers = asg.shard_storage[shard]
         attempts = 0
         while True:
@@ -356,6 +378,26 @@ class LogBookEngine:
         self, log_id: int, book_id: int, tag: int, direction: str, bound: int,
         cap: int, position: MetalogPosition,
     ) -> Generator:
+        if not self.obs.enabled:
+            return (
+                yield from self._read_local_impl(
+                    log_id, book_id, tag, direction, bound, cap, position
+                )
+            )
+        with self.obs.tracer.span(
+            "engine.read_local", node=self.name, kind="engine",
+            attrs={"book_id": book_id, "log_id": log_id},
+        ) as span:
+            reply, new_position = yield from self._read_local_impl(
+                log_id, book_id, tag, direction, bound, cap, position
+            )
+            span.set_attr("found", reply is not None)
+            return reply, new_position
+
+    def _read_local_impl(
+        self, log_id: int, book_id: int, tag: int, direction: str, bound: int,
+        cap: int, position: MetalogPosition,
+    ) -> Generator:
         yield self.node.cpu.use(self.config.engine_service)
         yield from self._wait_for_version(log_id, position)
         index = self.indices[log_id]
@@ -373,10 +415,14 @@ class LogBookEngine:
             return None, new_position
         record = self.cache.get_record(seqnum)
         if record is not None:
+            if self.obs.enabled:
+                self.obs.tracer.instant("engine.cache_hit", node=self.name, kind="cache")
             aux = self.cache.get_aux(seqnum)
             self.reads_served += 1
             return self._record_reply(record, aux), new_position
         # Cache miss: fetch from a storage node backing the record's shard.
+        if self.obs.enabled:
+            self.obs.tracer.instant("engine.cache_miss", node=self.name, kind="cache")
         reply = yield from self._fetch_from_storage(log_id, seqnum, index)
         record = LogRecord(
             seqnum=reply["seqnum"],
@@ -480,8 +526,15 @@ class LogBookEngine:
             "cap": cap,
             "position": position,
         }
-        reply = yield self.net.rpc(self.node, name, "engine.read", payload, timeout=10.0)
-        return reply["record"], reply["position"]
+        if not self.obs.enabled:
+            reply = yield self.net.rpc(self.node, name, "engine.read", payload, timeout=10.0)
+            return reply["record"], reply["position"]
+        with self.obs.tracer.span(
+            "engine.read_remote", node=self.name, kind="engine",
+            attrs={"book_id": book_id, "log_id": log_id, "remote": name},
+        ):
+            reply = yield self.net.rpc(self.node, name, "engine.read", payload, timeout=10.0)
+            return reply["record"], reply["position"]
 
     def read_range(
         self,

@@ -33,6 +33,9 @@ class LogIndex:
         #: seqnum -> tags, needed to trim rows efficiently.
         self._tags: Dict[int, Tuple[int, ...]] = {}
         self.record_count = 0
+        #: Query count (read_next/read_prev/range), surfaced through the
+        #: repro.obs metrics registry.
+        self.lookups = 0
 
     # ------------------------------------------------------------------
     # Updates (driven by metalog application)
@@ -106,6 +109,7 @@ class LogIndex:
     # ------------------------------------------------------------------
     def read_next(self, book_id: int, tag: int, min_seqnum: int) -> Optional[int]:
         """First seqnum >= min_seqnum in row (book_id, tag), or None."""
+        self.lookups += 1
         row = self._rows.get((book_id, tag))
         if not row:
             return None
@@ -114,6 +118,7 @@ class LogIndex:
 
     def read_prev(self, book_id: int, tag: int, max_seqnum: int) -> Optional[int]:
         """Last seqnum <= max_seqnum in row (book_id, tag), or None."""
+        self.lookups += 1
         row = self._rows.get((book_id, tag))
         if not row:
             return None
@@ -124,6 +129,7 @@ class LogIndex:
         self, book_id: int, tag: int, min_seqnum: int = 0, max_seqnum: Optional[int] = None
     ) -> List[int]:
         """All seqnums in [min_seqnum, max_seqnum] for the row."""
+        self.lookups += 1
         row = self._rows.get((book_id, tag), [])
         lo = bisect.bisect_left(row, min_seqnum)
         hi = len(row) if max_seqnum is None else bisect.bisect_right(row, max_seqnum)

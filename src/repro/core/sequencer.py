@@ -21,6 +21,8 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.core.config import BokiConfig, TermConfig
 from repro.core.metalog import Metalog, MetalogEntry, SealedError, TrimCommand, freeze_progress
 from repro.core.ordering import merge_progress_by_shard
+from repro.obs.recorder import DISABLED
+from repro.obs.trace import STATUS_ERROR, STATUS_OK
 from repro.sim.kernel import Environment, Interrupt
 from repro.sim.network import Network, RpcError, RpcTimeout
 from repro.sim.node import Node
@@ -48,6 +50,7 @@ class SequencerNode:
         self._primary_state: Dict[Tuple[int, int], _PrimaryState] = {}
         self._drivers: Dict[Tuple[int, int], object] = {}
         self.entries_appended = 0
+        self.obs = DISABLED
         self._register_handlers()
 
     @property
@@ -133,6 +136,15 @@ class SequencerNode:
                 # Replicate this exact entry until a quorum acks it. Retrying
                 # with different content at the same index would diverge any
                 # secondary that already stored the first attempt.
+                span = None
+                if self.obs.enabled:
+                    # Background ordering work: each committed entry is its
+                    # own (root) trace covering the quorum round trips.
+                    span = self.obs.tracer.start_trace(
+                        "seq.quorum", node=self.name, kind="sequencer",
+                        attrs={"log_id": log_id, "entry": entry.index},
+                    )
+                    self.obs.tracer.set_process_context(span.context)
                 while True:
                     acks = 1  # self
                     calls = [
@@ -153,12 +165,21 @@ class SequencerNode:
                     if acks >= quorum:
                         break
                     if replica.sealed:
+                        if span is not None:
+                            span.finish(STATUS_ERROR, error="sealed before quorum")
+                            self.obs.tracer.set_process_context(None)
                         return
                     yield self.env.timeout(self.config.metalog_interval)
                 try:
                     replica.append(entry)
                 except SealedError:
+                    if span is not None:
+                        span.finish(STATUS_ERROR, error="sealed at append")
+                        self.obs.tracer.set_process_context(None)
                     return
+                if span is not None:
+                    span.finish(STATUS_OK, acks=acks)
+                    self.obs.tracer.set_process_context(None)
                 state.pending_trims = state.pending_trims[len(trims):]
                 self.entries_appended += 1
                 payload = {"term": term, "log_id": log_id, "entry": entry}

@@ -23,6 +23,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.core.config import BokiConfig, TermConfig
 from repro.core.metalog import MetalogEntry
 from repro.core.ordering import delta_set
+from repro.obs.recorder import DISABLED
 from repro.core.types import pack_seqnum
 from repro.sim.kernel import Environment, Interrupt
 from repro.sim.network import Network
@@ -70,7 +71,9 @@ class StorageNode:
         #: seqnum -> auxiliary data backup
         self._aux_backup: Dict[int, Any] = {}
         self.trimmed_count = 0
+        self.records_ordered = 0
         self._progress_proc = None
+        self.obs = DISABLED
         self._register_handlers()
 
     @property
@@ -162,7 +165,13 @@ class StorageNode:
     # ------------------------------------------------------------------
     def _h_read(self, payload: dict) -> Generator:
         yield self.node.cpu.use(self.config.storage_service)
-        yield self.env.timeout(self.config.media_read_latency)
+        if self.obs.enabled:
+            with self.obs.tracer.span(
+                "storage.media_read", node=self.name, kind="storage"
+            ):
+                yield self.env.timeout(self.config.media_read_latency)
+        else:
+            yield self.env.timeout(self.config.media_read_latency)
         record = self._by_seqnum.get(payload["seqnum"])
         if record is None:
             raise KeyError(f"seqnum {payload['seqnum']:#x} not on {self.name}")
@@ -209,6 +218,7 @@ class StorageNode:
                 seqnum = pack_seqnum(term, log_id, pos)
                 record["seqnum"] = seqnum
                 self._by_seqnum[seqnum] = record
+                self.records_ordered += 1
         state.prev_progress = entry.progress_dict()
         for trim in entry.trims:
             self._reclaim(trim)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from repro.obs.recorder import DISABLED
 from repro.sim.kernel import Environment
 from repro.sim.network import Network, RpcError
 from repro.sim.node import Node
@@ -48,6 +49,7 @@ class Gateway:
         self._rr = itertools.count()
         #: Optional scheduler override: f(fn_name, book_id) -> FunctionNode.
         self.scheduler: Optional[Callable[[str, Optional[int]], FunctionNode]] = None
+        self.obs = DISABLED
         self.node.handle("faas.invoke", self._h_invoke)
 
     # ------------------------------------------------------------------
@@ -86,10 +88,19 @@ class Gateway:
         if payload["fn"] not in self._functions:
             raise FunctionNotFoundError(payload["fn"])
         fnode = self.pick_node(payload["fn"], payload.get("book_id"))
-        reply = yield self.net.rpc(
-            self.node, fnode.node, "faas.exec", payload, timeout=INVOKE_TIMEOUT
-        )
-        return reply
+        if not self.obs.enabled:
+            reply = yield self.net.rpc(
+                self.node, fnode.node, "faas.exec", payload, timeout=INVOKE_TIMEOUT
+            )
+            return reply
+        with self.obs.tracer.span(
+            "gateway.invoke", node=self.node.name, kind="gateway",
+            attrs={"fn": payload["fn"], "scheduled_to": fnode.name},
+        ):
+            reply = yield self.net.rpc(
+                self.node, fnode.node, "faas.exec", payload, timeout=INVOKE_TIMEOUT
+            )
+            return reply
 
     def invoke_from(
         self,

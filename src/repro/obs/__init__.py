@@ -1,0 +1,58 @@
+"""Deterministic observability for the simulated Boki cluster.
+
+The DES substrate makes distributed tracing uniquely cheap and exact:
+virtual timestamps are deterministic, so two runs with the same seed
+produce byte-identical traces, and instrumentation never perturbs the
+simulated clock (spans are plain Python objects; no events are created).
+
+Modules
+-------
+``trace``
+    Spans with parent/child causality and a :class:`SpanContext` that
+    piggybacks on network messages, following a request across nodes.
+``registry``
+    A central :class:`MetricsRegistry` of named counters, gauges, and
+    histograms.
+``profile``
+    DES-kernel instrumentation: event-queue depth, events per virtual
+    second, and per-node CPU busy time.
+``export``
+    Chrome ``trace_event`` JSON and plain-text latency attribution.
+``recorder``
+    The enabled/disabled switch; disabled tracing costs one attribute
+    check on the hot path.
+"""
+
+from repro.obs.export import (
+    attribution_report,
+    self_times,
+    slowest_trace,
+    to_chrome_trace,
+    trace_spans,
+    write_chrome_trace,
+)
+from repro.obs.profile import KernelProfiler, NodeProfile
+from repro.obs.recorder import DISABLED, ObsRecorder
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, registry_from_cluster
+from repro.obs.trace import Span, SpanContext, Tracer
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "NodeProfile",
+    "ObsRecorder",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "attribution_report",
+    "registry_from_cluster",
+    "self_times",
+    "slowest_trace",
+    "to_chrome_trace",
+    "trace_spans",
+    "write_chrome_trace",
+]

@@ -1,0 +1,210 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and attribution reports.
+
+The Chrome format (load in ``chrome://tracing`` or Perfetto) maps nodes
+to processes and traces to threads, so one request's causal chain reads
+as a lane per node. All ids, ordering, and timestamps derive from
+virtual time and deterministic counters, so two runs with the same seed
+export byte-identical JSON.
+
+The attribution report answers the evaluation question "where did the
+latency go": for every span the *self time* is its duration minus the
+union of its children's intervals (parallel children — e.g. the
+replicate fan-out — are not double-counted), aggregated per component.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Span
+
+_US = 1e6  # chrome trace timestamps are microseconds
+
+
+def trace_spans(spans: Iterable[Span], trace_id: int) -> List[Span]:
+    """The finished spans of one trace, ordered by (start, span_id)."""
+    picked = [s for s in spans if s.trace_id == trace_id and s.finished]
+    picked.sort(key=lambda s: (s.start, s.span_id))
+    return picked
+
+
+def slowest_trace(spans: Iterable[Span]) -> Optional[int]:
+    """Trace id whose root span has the longest duration, or None."""
+    best: Optional[Tuple[float, int]] = None
+    for span in spans:
+        if span.parent_id is None and span.finished:
+            key = (span.duration, -span.trace_id)
+            if best is None or key > best:
+                best = key
+    # Recover the trace id (negated for deterministic ties: lowest wins).
+    if best is None:
+        return None
+    return -best[1]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def to_chrome_trace(spans: Iterable[Span], trace_id: Optional[int] = None) -> str:
+    """Serialize spans as a Chrome ``trace_event`` JSON document.
+
+    ``trace_id`` restricts the export to one trace. Each simulated node
+    becomes a "process" (named via metadata events); each trace becomes a
+    "thread" within it, so concurrent requests stack as separate lanes.
+    """
+    selected = [s for s in spans if s.finished]
+    if trace_id is not None:
+        selected = [s for s in selected if s.trace_id == trace_id]
+    selected.sort(key=lambda s: (s.start, s.span_id))
+    node_names = sorted({s.node or "?" for s in selected})
+    pids = {name: i + 1 for i, name in enumerate(node_names)}
+    events: List[dict] = []
+    for name in node_names:
+        events.append(
+            {
+                "args": {"name": name},
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[name],
+                "tid": 0,
+            }
+        )
+    for span in selected:
+        args: Dict[str, object] = {
+            "span_id": span.span_id,
+            "status": span.status,
+            "trace_id": span.trace_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key in sorted(span.attrs):
+            args[key] = _jsonable(span.attrs[key])
+        events.append(
+            {
+                "args": args,
+                "cat": span.kind,
+                "dur": round(span.duration * _US, 3),
+                "name": span.name,
+                "ph": "X",
+                "pid": pids[span.node or "?"],
+                "tid": span.trace_id,
+                "ts": round(span.start * _US, 3),
+            }
+        )
+    doc = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span], trace_id: Optional[int] = None) -> str:
+    text = to_chrome_trace(spans, trace_id=trace_id)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Latency attribution
+# ----------------------------------------------------------------------
+def _interval_union(intervals: List[Tuple[float, float]]) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            covered += cur_end - cur_start
+            cur_start, cur_end = start, end
+        elif end > cur_end:
+            cur_end = end
+    covered += cur_end - cur_start
+    return covered
+
+
+def self_times(spans: Iterable[Span]) -> Dict[int, float]:
+    """Per-span self time: duration minus the union of children's
+    intervals (clipped to the parent). Keyed by span_id."""
+    finished = [s for s in spans if s.finished]
+    children: Dict[int, List[Tuple[float, float]]] = {}
+    for span in finished:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append((span.start, span.end))
+    out: Dict[int, float] = {}
+    for span in finished:
+        kids = [
+            (max(start, span.start), min(end, span.end))
+            for start, end in children.get(span.span_id, [])
+            if end > span.start and start < span.end
+        ]
+        out[span.span_id] = max(0.0, span.duration - _interval_union(kids))
+    return out
+
+
+def attribution_report(
+    spans: Iterable[Span],
+    trace_id: Optional[int] = None,
+    title: str = "latency attribution",
+) -> str:
+    """Plain-text per-component latency attribution.
+
+    With ``trace_id``, reports one request: end-to-end latency, then each
+    component's (span name's) self time and share. Without it, aggregates
+    over every complete trace (a finished root span).
+    """
+    all_spans = [s for s in spans if s.finished]
+    if trace_id is not None:
+        trace_ids = [trace_id]
+    else:
+        trace_ids = sorted({s.trace_id for s in all_spans if s.parent_id is None})
+    lines = [f"=== {title} ==="]
+    by_component: Dict[str, List[float]] = {}
+    total_e2e = 0.0
+    reported = 0
+    for tid in trace_ids:
+        tspans = trace_spans(all_spans, tid)
+        roots = [s for s in tspans if s.parent_id is None]
+        if not roots:
+            continue
+        root = roots[0]
+        selfs = self_times(tspans)
+        total_e2e += root.duration
+        reported += 1
+        for span in tspans:
+            key = f"{span.name} [{span.node or '?'}]" if trace_id is not None else span.name
+            by_component.setdefault(key, []).append(selfs[span.span_id])
+        if trace_id is not None:
+            lines.append(
+                f"trace {tid}: root {root.name!r} status={root.status} "
+                f"end-to-end {root.duration * 1e3:.3f} ms, {len(tspans)} spans"
+            )
+    if not reported:
+        lines.append("(no complete traces)")
+        return "\n".join(lines)
+    if trace_id is None:
+        lines.append(
+            f"{reported} traces, total end-to-end {total_e2e * 1e3:.3f} ms"
+        )
+    header = f"{'component':<40} {'count':>5} {'self total':>12} {'share':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    ranked = sorted(
+        by_component.items(), key=lambda item: (-sum(item[1]), item[0])
+    )
+    for name, values in ranked:
+        total = sum(values)
+        share = total / total_e2e if total_e2e > 0 else 0.0
+        lines.append(
+            f"{name:<40} {len(values):>5} {total * 1e3:>10.3f}ms {share:>6.1%}"
+        )
+    lines.append(
+        "(shares are self time / end-to-end; concurrent hops can sum past 100%)"
+    )
+    return "\n".join(lines)

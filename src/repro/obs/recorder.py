@@ -1,0 +1,56 @@
+"""The observability on/off switch.
+
+Instrumented components (network, engines, storage, sequencers, gateway,
+function nodes) hold an ``obs`` attribute that is :data:`DISABLED` by
+default. Hot paths guard all span/metric work with one attribute check::
+
+    if self.obs.enabled:
+        ...
+
+so a build that never enables observability pays a single boolean read
+per instrumented operation and allocates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.profile import KernelProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.sim.kernel import Environment
+
+
+class ObsRecorder:
+    """An enabled recorder: tracer + metrics registry (+ optional profiler)."""
+
+    def __init__(self, env: Environment, profile: bool = False, profile_bucket: float = 1.0):
+        self.enabled = True
+        self.env = env
+        self.tracer = Tracer(env)
+        self.metrics = MetricsRegistry()
+        self.profiler: Optional[KernelProfiler] = (
+            KernelProfiler(env, bucket=profile_bucket) if profile else None
+        )
+
+    def enable_profiling(self, bucket: float = 1.0) -> KernelProfiler:
+        if self.profiler is None:
+            self.profiler = KernelProfiler(self.env, bucket=bucket)
+        return self.profiler
+
+
+class _Disabled:
+    """Shared no-op stand-in; only its ``enabled`` flag is ever read."""
+
+    __slots__ = ()
+    enabled = False
+    tracer = None
+    metrics = None
+    profiler = None
+
+    def __repr__(self) -> str:
+        return "<observability disabled>"
+
+
+#: The module-wide disabled singleton components default to.
+DISABLED = _Disabled()

@@ -137,6 +137,11 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        # Ambient trace context (repro.obs): inherited from the process
+        # that created this one, so a spawned sub-process stays in the
+        # creator's trace. None whenever tracing is off.
+        active = env._active
+        self.trace_ctx = active.trace_ctx if active is not None else None
         # Bootstrap: resume once at the current time.
         init = Event(env)
         init.callbacks.append(self._resume)
@@ -173,6 +178,15 @@ class Process(Event):
         self._step(event)
 
     def _step(self, event: Optional[Event], to_throw: Optional[BaseException] = None) -> None:
+        env = self.env
+        prev_active = env._active
+        env._active = self
+        try:
+            self._step_inner(event, to_throw)
+        finally:
+            env._active = prev_active
+
+    def _step_inner(self, event: Optional[Event], to_throw: Optional[BaseException]) -> None:
         try:
             if to_throw is not None:
                 target = self._generator.throw(to_throw)
@@ -260,6 +274,10 @@ class Environment:
         self._now = float(initial_time)
         self._heap: List[tuple] = []
         self._eid = 0
+        #: The process currently being stepped (trace-context inheritance).
+        self._active: Optional[Process] = None
+        #: Optional repro.obs.profile.KernelProfiler; one None-check per event.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -299,6 +317,8 @@ class Environment:
                 break
             heapq.heappop(self._heap)
             self._now = at
+            if self.profiler is not None:
+                self.profiler.on_event(at, len(self._heap))
             event._run_callbacks()
             processed += 1
             if max_events is not None and processed >= max_events:
@@ -330,6 +350,8 @@ class Environment:
             return False
         at, _, event = heapq.heappop(self._heap)
         self._now = at
+        if self.profiler is not None:
+            self.profiler.on_event(at, len(self._heap))
         event._run_callbacks()
         return True
 

@@ -11,13 +11,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
-def percentile(samples: List[float], p: float) -> float:
-    """Linear-interpolated percentile of ``samples`` (p in [0, 100])."""
-    if not samples:
+def percentile_sorted(ordered: List[float], p: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not ordered:
         raise ValueError("no samples")
     if not 0 <= p <= 100:
         raise ValueError(f"percentile {p} out of range")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100) * (len(ordered) - 1)
@@ -27,17 +26,35 @@ def percentile(samples: List[float], p: float) -> float:
     return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
 
+def percentile(samples: List[float], p: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (p in [0, 100])."""
+    return percentile_sorted(sorted(samples), p)
+
+
 class LatencyRecorder:
-    """Collects latency samples and reports summary statistics."""
+    """Collects latency samples and reports summary statistics.
+
+    The sorted view is computed lazily and cached (invalidated by
+    :meth:`record`), so a full :meth:`summary` sorts the samples once
+    instead of once per statistic.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[float] = []
+        self._ordered: Optional[List[float]] = None
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
         self.samples.append(latency)
+        self._ordered = None
+
+    def sorted_samples(self) -> List[float]:
+        """The samples in ascending order (cached; do not mutate)."""
+        if self._ordered is None or len(self._ordered) != len(self.samples):
+            self._ordered = sorted(self.samples)
+        return self._ordered
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -46,14 +63,17 @@ class LatencyRecorder:
     def count(self) -> int:
         return len(self.samples)
 
+    def percentile(self, p: float) -> float:
+        return percentile_sorted(self.sorted_samples(), p)
+
     def median(self) -> float:
-        return percentile(self.samples, 50)
+        return self.percentile(50)
 
     def p99(self) -> float:
-        return percentile(self.samples, 99)
+        return self.percentile(99)
 
     def p999(self) -> float:
-        return percentile(self.samples, 99.9)
+        return self.percentile(99.9)
 
     def mean(self) -> float:
         if not self.samples:
@@ -61,7 +81,10 @@ class LatencyRecorder:
         return sum(self.samples) / len(self.samples)
 
     def max(self) -> float:
-        return max(self.samples)
+        ordered = self.sorted_samples()
+        if not ordered:
+            raise ValueError("no samples")
+        return ordered[-1]
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -115,10 +138,14 @@ class TimeSeries:
         return len(self.points)
 
     def window(self, start: float, end: float) -> List[Tuple[float, float]]:
-        """Points with start <= time < end (points must be in time order)."""
-        times = [t for t, _ in self.points]
-        lo = bisect.bisect_left(times, start)
-        hi = bisect.bisect_left(times, end)
+        """Points with start <= time < end (points must be in time order).
+
+        Bisects over ``self.points`` directly — a 1-tuple ``(t,)`` sorts
+        strictly before any ``(t, value)``, so no per-call times list is
+        built (callers like ``bucket_percentile`` invoke this per bucket).
+        """
+        lo = bisect.bisect_left(self.points, (start,))
+        hi = bisect.bisect_left(self.points, (end,))
         return self.points[lo:hi]
 
     def bucket_percentile(

@@ -16,6 +16,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Generator, Optional, Set, Union
 
+from repro.obs.recorder import DISABLED
+from repro.obs.trace import STATUS_DROPPED, STATUS_ERROR, STATUS_OK, STATUS_TIMEOUT
 from repro.sim.kernel import AnyOf, Environment, Event, Process
 from repro.sim.node import Node
 from repro.sim.randvar import RandomStreams
@@ -46,13 +48,15 @@ class RpcTimeout(Exception):
 
 @dataclass
 class Message:
-    """A message in flight; retained for tracing hooks."""
+    """A message in flight; carries the sender's trace context so a
+    request's span tree follows it across nodes (``repro.obs``)."""
 
     msg_id: int
     src: str
     dst: str
     method: str
     payload: Any = None
+    trace_ctx: Any = None
 
 
 class Network:
@@ -77,6 +81,9 @@ class Network:
         self._msg_ids = itertools.count(1)
         self.messages_sent = 0
         self.trace_hook: Optional[Callable[[Message], None]] = None
+        #: Observability switch (repro.obs); DISABLED costs one attribute
+        #: check per message.
+        self.obs = DISABLED
 
     # ------------------------------------------------------------------
     # Topology
@@ -123,28 +130,64 @@ class Network:
             return
         msg = Message(next(self._msg_ids), src_node.name, dst_node.name, method, payload)
         self.messages_sent += 1
+        if self.obs.enabled:
+            msg.trace_ctx = self.obs.tracer.current_context()
+            self.obs.metrics.counter("net.sends").incr()
         if self.trace_hook is not None:
             self.trace_hook(msg)
         self.env.process(self._deliver_oneway(src_node, dst_node, msg), name=f"send:{method}")
 
     def _deliver_oneway(self, src: Node, dst: Node, msg: Message) -> Generator:
         yield self.env.timeout(self.one_way_delay())
+        obs = self.obs
         if not dst.alive or not self.reachable(src.name, dst.name):
+            if obs.enabled:
+                obs.tracer.instant(
+                    f"drop:{msg.method}", parent=msg.trace_ctx, node=dst.name,
+                    kind="net", status=STATUS_DROPPED,
+                    attrs={"src": msg.src, "reason": "down" if not dst.alive else "partition"},
+                )
+                obs.metrics.counter("net.drops").incr()
             return
         handler = dst.handlers.get(msg.method)
         if handler is None:
             return
-        result = handler(msg.payload)
+        span = None
+        prev_ctx = None
+        if obs.enabled:
+            span = obs.tracer.start_span(
+                f"handle:{msg.method}", parent=msg.trace_ctx, node=dst.name, kind="handler"
+            )
+            prev_ctx = obs.tracer.set_process_context(span.context)
+        try:
+            result = handler(msg.payload)
+        except Exception as exc:  # noqa: BLE001 - close the span, then fail as before
+            if span is not None:
+                span.finish(STATUS_ERROR, error=repr(exc))
+            raise
+        finally:
+            if obs.enabled:
+                obs.tracer.set_process_context(prev_ctx)
         if hasattr(result, "throw"):  # generator handler: run as a process
-            proc = self.env.process(self._ignore_errors(result), name=f"handle:{msg.method}")
-            del proc
+            # The wrapped process inherits the handle span's context via the
+            # ambient context set above at creation... it is created *after*
+            # the restore, so install it explicitly.
+            proc = self.env.process(self._ignore_errors(result, span), name=f"handle:{msg.method}")
+            if span is not None:
+                proc.trace_ctx = span.context
+        elif span is not None:
+            span.finish(STATUS_OK)
 
     @staticmethod
-    def _ignore_errors(generator: Generator) -> Generator:
+    def _ignore_errors(generator: Generator, span=None) -> Generator:
         try:
             yield from generator
-        except Exception:  # noqa: BLE001 - best-effort delivery semantics
-            pass
+        except Exception as exc:  # noqa: BLE001 - best-effort delivery semantics
+            if span is not None:
+                span.finish(STATUS_ERROR, error=repr(exc))
+        else:
+            if span is not None:
+                span.finish(STATUS_OK)
 
     def rpc(
         self,
@@ -170,31 +213,76 @@ class Network:
         src.check_alive()
         msg = Message(next(self._msg_ids), src.name, dst.name, method, payload)
         self.messages_sent += 1
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            # Parent = the calling process's ambient context (inherited by
+            # this _rpc process at creation). The message carries the rpc
+            # span so the server side parents under it.
+            span = obs.tracer.start_span(
+                f"rpc:{method}", node=src.name, kind="rpc", attrs={"dst": dst.name}
+            )
+            msg.trace_ctx = span.context
+            obs.metrics.counter("net.rpc.calls").incr()
         if self.trace_hook is not None:
             self.trace_hook(msg)
         reply = Event(self.env)
         self.env.process(self._serve(src, dst, msg, reply), name=f"serve:{method}")
         timer = self.env.timeout(timeout)
-        yield AnyOf(self.env, [reply, timer])
+        try:
+            yield AnyOf(self.env, [reply, timer])
+        except BaseException as exc:  # interrupted caller, node crash, ...
+            if span is not None:
+                span.finish(STATUS_ERROR, error=repr(exc))
+            raise
         if not reply.triggered:
+            if span is not None:
+                span.finish(STATUS_TIMEOUT, timeout=timeout)
+                obs.metrics.counter("net.rpc.timeouts").incr()
             raise RpcTimeout(method, dst.name, timeout)
         status, value = reply.value
         if status == "err":
+            if span is not None:
+                span.finish(STATUS_ERROR, error=repr(value))
             raise RpcError(method, value)
+        if span is not None:
+            span.finish(STATUS_OK)
         return value
 
     def _serve(self, src: Node, dst: Node, msg: Message, reply: Event) -> Generator:
         yield self.env.timeout(self.one_way_delay())
+        obs = self.obs
         if not dst.alive or not self.reachable(src.name, dst.name):
+            if obs.enabled:
+                obs.tracer.instant(
+                    f"drop:{msg.method}", parent=msg.trace_ctx, node=dst.name,
+                    kind="net", status=STATUS_DROPPED,
+                    attrs={"src": msg.src, "reason": "down" if not dst.alive else "partition"},
+                )
+                obs.metrics.counter("net.drops").incr()
             return
+        span = None
+        prev_ctx = None
+        if obs.enabled:
+            span = obs.tracer.start_span(
+                f"handle:{msg.method}", parent=msg.trace_ctx, node=dst.name, kind="handler"
+            )
+            prev_ctx = obs.tracer.set_process_context(span.context)
         try:
             handler = dst.handler_for(msg.method)
             result = handler(msg.payload)
             if hasattr(result, "throw"):
                 result = yield self.env.process(result, name=f"handle:{msg.method}")
             outcome = ("ok", result)
+            if span is not None:
+                span.finish(STATUS_OK)
         except Exception as exc:  # noqa: BLE001 - shipped back to the caller
             outcome = ("err", exc)
+            if span is not None:
+                span.finish(STATUS_ERROR, error=repr(exc))
+        finally:
+            if obs.enabled:
+                obs.tracer.set_process_context(prev_ctx)
         yield self.env.timeout(self.one_way_delay())
         # The replying node must still be up, and the link back intact.
         if not dst.alive or not src.alive or not self.reachable(src.name, dst.name):

@@ -162,6 +162,10 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        #: Optional observer called with the new in-use count whenever it
+        #: changes (repro.obs.profile busy-time accounting). One None-check
+        #: on the hot path when profiling is off.
+        self.monitor = None
 
     @property
     def in_use(self) -> int:
@@ -175,6 +179,8 @@ class Resource:
         event = Event(self.env)
         if self._in_use < self.capacity:
             self._in_use += 1
+            if self.monitor is not None:
+                self.monitor(self._in_use)
             event.succeed()
         else:
             self._waiters.append(event)
@@ -184,11 +190,14 @@ class Resource:
         while self._waiters:
             waiter = self._waiters.popleft()
             if not waiter.triggered:
+                # Handoff: the slot passes to a waiter, in-use unchanged.
                 waiter.succeed()
                 return
         self._in_use -= 1
         if self._in_use < 0:
             raise RuntimeError("release() without matching request()")
+        if self.monitor is not None:
+            self.monitor(self._in_use)
 
     def use(self, duration: float) -> Event:
         """Acquire, hold for ``duration`` of virtual time, release."""

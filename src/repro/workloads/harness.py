@@ -15,8 +15,9 @@ Both warm up before measuring and return a :class:`RunResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.obs.trace import STATUS_ERROR, STATUS_OK
 from repro.sim.kernel import Environment, Interrupt
 from repro.sim.metrics import LatencyRecorder
 
@@ -56,12 +57,20 @@ def run_closed_loop(
     duration: float,
     warmup: float = 0.05,
     limit_factor: float = 20.0,
+    obs=None,
 ) -> RunResult:
     """N clients looping ``op`` back to back for ``duration`` of virtual
     time (after ``warmup``). ``make_op(client_index)`` returns the client's
-    op factory; each call of the factory yields one request generator."""
+    op factory; each call of the factory yields one request generator.
+
+    Pass an enabled :class:`~repro.obs.ObsRecorder` as ``obs`` to wrap each
+    request in a root trace; ``result.extra["request_traces"]`` then holds
+    ``(latency, trace_id)`` for every measured request (see
+    :func:`dump_slowest_trace`)."""
     latencies = LatencyRecorder("closed-loop")
     state = {"completed": 0, "errors": 0, "stop": False}
+    tracer = obs.tracer if obs is not None and obs.enabled else None
+    request_traces: List[Tuple[float, int]] = []
     t_start = env.now + warmup
     t_end = t_start + duration
 
@@ -70,17 +79,34 @@ def run_closed_loop(
         try:
             while not state["stop"]:
                 started = env.now
+                span = prev = None
+                if tracer is not None:
+                    span = tracer.start_trace(
+                        "request", node="client", kind="client",
+                        attrs={"client": index},
+                    )
+                    prev = tracer.set_process_context(span.context)
                 try:
                     yield env.process(op_factory(), name=f"client-{index}-op")
                 except Interrupt:
+                    if span is not None:
+                        span.finish(STATUS_ERROR, error="interrupted")
                     raise
                 except Exception:  # noqa: BLE001 - workload op failed
                     state["errors"] += 1
+                    if span is not None:
+                        span.finish(STATUS_ERROR)
+                        tracer.set_process_context(prev)
                     continue
                 finished = env.now
+                if span is not None:
+                    span.finish(STATUS_OK)
+                    tracer.set_process_context(prev)
                 if t_start <= finished <= t_end:
                     latencies.record(finished - started)
                     state["completed"] += 1
+                    if span is not None:
+                        request_traces.append((finished - started, span.context.trace_id))
         except Interrupt:
             return
 
@@ -92,11 +118,15 @@ def run_closed_loop(
         if proc.is_alive:
             proc.interrupt("run over")
     env.run(until=env.now)  # flush same-time interrupts
+    extra: Dict[str, Any] = {}
+    if tracer is not None:
+        extra["request_traces"] = request_traces
     return RunResult(
         completed=state["completed"],
         duration=duration,
         latencies=latencies,
         errors=state["errors"],
+        extra=extra,
     )
 
 
@@ -108,28 +138,44 @@ def run_open_loop(
     rng,
     warmup: float = 0.1,
     max_in_flight: int = 10_000,
+    obs=None,
 ) -> RunResult:
     """Poisson arrivals at ``rate`` requests/second; ``make_op(i)`` builds
-    the i-th request generator. Latency measured per completed request."""
+    the i-th request generator. Latency measured per completed request.
+    ``obs`` works as in :func:`run_closed_loop`."""
     latencies = LatencyRecorder("open-loop")
     state = {"completed": 0, "errors": 0, "in_flight": 0, "launched": 0}
+    tracer = obs.tracer if obs is not None and obs.enabled else None
+    request_traces: List[Tuple[float, int]] = []
     t_start = env.now + warmup
     t_end = t_start + duration
 
     def one_request(i: int) -> Generator:
         started = env.now
         state["in_flight"] += 1
+        span = None
+        if tracer is not None:
+            span = tracer.start_trace(
+                "request", node="client", kind="client", attrs={"request": i}
+            )
+            tracer.set_process_context(span.context)
         try:
             yield env.process(make_op(i), name=f"req-{i}")
         except Exception:  # noqa: BLE001
             state["errors"] += 1
+            if span is not None:
+                span.finish(STATUS_ERROR)
             return
         finally:
             state["in_flight"] -= 1
         finished = env.now
+        if span is not None:
+            span.finish(STATUS_OK)
         if t_start <= finished <= t_end:
             latencies.record(finished - started)
             state["completed"] += 1
+            if span is not None:
+                request_traces.append((finished - started, span.context.trace_id))
 
     def arrival_process() -> Generator:
         i = 0
@@ -144,10 +190,38 @@ def run_open_loop(
     env.run_until(arrivals, limit=env.now + (warmup + duration) * 50 + 120.0)
     # Let stragglers finish (up to a grace period) so tail latencies count.
     env.run(until=env.now + 0.5)
+    extra: Dict[str, Any] = {"offered": rate, "launched": state["launched"]}
+    if tracer is not None:
+        extra["request_traces"] = request_traces
     return RunResult(
         completed=state["completed"],
         duration=duration,
         latencies=latencies,
         errors=state["errors"],
-        extra={"offered": rate, "launched": state["launched"]},
+        extra=extra,
     )
+
+
+def dump_slowest_trace(result: RunResult, obs, path: Optional[str] = None) -> Tuple[str, str]:
+    """Chrome trace JSON + latency-attribution report for the slowest
+    measured request of a traced run (``obs`` passed to the run).
+
+    Returns ``(chrome_json, report_text)``; with ``path``, also writes
+    ``<path>.json`` and ``<path>.txt``.
+    """
+    from repro.obs.export import attribution_report, slowest_trace, to_chrome_trace
+
+    spans = obs.tracer.spans
+    traces = result.extra.get("request_traces") or []
+    if traces:
+        _, trace_id = max(traces, key=lambda lt: (lt[0], -lt[1]))
+    else:
+        trace_id = slowest_trace(spans)
+    chrome_json = to_chrome_trace(spans, trace_id=trace_id)
+    report = attribution_report(spans, trace_id=trace_id)
+    if path is not None:
+        with open(f"{path}.json", "w") as fh:
+            fh.write(chrome_json)
+        with open(f"{path}.txt", "w") as fh:
+            fh.write(report)
+    return chrome_json, report

@@ -1,0 +1,107 @@
+"""Kernel profiler: event counts, queue depth, per-node busy time."""
+
+import pytest
+
+from repro.obs.profile import KernelProfiler
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.randvar import RandomStreams
+
+
+def test_counts_events_and_rates():
+    env = Environment()
+    prof = KernelProfiler(env, bucket=0.5)
+
+    def ticker():
+        for _ in range(10):
+            yield env.timeout(0.1)
+
+    env.process(ticker())
+    env.run(until=2.0)
+    assert prof.events_processed >= 10
+    assert prof.events_per_virtual_second() > 0
+    assert prof.mean_queue_depth >= 0
+    assert prof.max_queue_depth >= 0
+    assert sum(prof.events_by_bucket.values()) == prof.events_processed
+    summary = prof.summary()
+    assert summary["events_processed"] == prof.events_processed
+
+
+def test_node_busy_time_integral():
+    env = Environment()
+    net = Network(env, RandomStreams(seed=0))
+    node = net.register(Node(env, "n", cpu_capacity=2))
+    prof = KernelProfiler(env)
+    profile = prof.attach_node(node)
+    assert prof.attach_node(node) is profile  # idempotent
+
+    def work():
+        yield node.cpu.use(0.5)
+
+    env.process(work())
+    env.run(until=2.0)
+    profile.settle()
+    assert profile.busy_time == pytest.approx(0.5)
+    # 0.5 cpu-seconds over 2s of 2 cpus -> 12.5% utilization.
+    assert profile.utilization(0.0, 2.0) == pytest.approx(0.125)
+    assert 0 < profile.utilization(0.0) <= 1.0
+
+
+def test_concurrent_use_integrates_overlap():
+    env = Environment()
+    net = Network(env, RandomStreams(seed=0))
+    node = net.register(Node(env, "n", cpu_capacity=4))
+    prof = KernelProfiler(env)
+    profile = prof.attach_node(node)
+
+    def work():
+        yield node.cpu.use(1.0)
+
+    for _ in range(3):
+        env.process(work())
+    env.run(until=2.0)
+    profile.settle()
+    assert profile.busy_time == pytest.approx(3.0)
+
+
+def test_detach_removes_kernel_hook():
+    env = Environment()
+    prof = KernelProfiler(env)
+    assert env.profiler is prof
+
+    def ticker():
+        yield env.timeout(0.1)
+
+    env.process(ticker())
+    env.run(until=0.2)
+    seen = prof.events_processed
+    assert seen > 0
+    prof.detach()
+    assert env.profiler is None
+    env.process(ticker())
+    env.run(until=0.5)
+    assert prof.events_processed == seen  # no longer counting
+
+
+def test_report_lines_render():
+    env = Environment()
+    net = Network(env, RandomStreams(seed=0))
+    node = net.register(Node(env, "busy", cpu_capacity=1))
+    prof = KernelProfiler(env)
+    prof.attach_node(node)
+
+    def work():
+        yield node.cpu.use(0.25)
+
+    env.process(work())
+    env.run(until=1.0)
+    lines = prof.report_lines()
+    assert any("kernel:" in line for line in lines)
+    assert any("busy" in line for line in lines)
+
+
+def test_bucket_width_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        KernelProfiler(env, bucket=0.0)

@@ -1,0 +1,116 @@
+"""MetricsRegistry unit tests and the cluster snapshot."""
+
+import pytest
+
+from repro.core.cluster import BokiCluster
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_from_cluster,
+)
+
+
+def test_counter_monotonic():
+    reg = MetricsRegistry()
+    counter = reg.counter("reqs", help="requests")
+    counter.incr()
+    counter.incr(4)
+    assert reg.value("reqs") == 5
+    with pytest.raises(ValueError):
+        counter.incr(-1)
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("depth")
+    gauge.set(3.0)
+    gauge.add(-1.5)
+    assert reg.value("depth") == 1.5
+
+
+def test_histogram_accepts_negatives_and_summarises():
+    reg = MetricsRegistry()
+    hist = reg.histogram("delta")
+    for value in (3.0, -1.0, 2.0, 0.0):
+        hist.observe(value)
+    assert hist.sorted_samples() == [-1.0, 0.0, 2.0, 3.0]
+    assert hist.percentile(0) == -1.0
+    assert hist.max() == 3.0
+    hist.observe(-5.0)  # cache must invalidate
+    assert hist.percentile(0) == -5.0
+
+
+def test_get_or_create_is_idempotent_and_typed():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    assert "x" in reg
+    assert reg.names() == ["x"]
+
+
+def test_snapshot_and_render_text():
+    reg = MetricsRegistry()
+    reg.counter("b.count").incr(2)
+    reg.gauge("a.depth").set(1.0)
+    reg.histogram("c.lat").observe(0.5)
+    snap = reg.snapshot()
+    assert list(snap) == ["a.depth", "b.count", "c.lat"]  # sorted
+    assert snap["b.count"] == 2
+    assert snap["c.lat"]["count"] == 1
+    text = reg.render_text()
+    assert "a.depth 1" in text
+    assert "c.lat count=1" in text
+    empty = MetricsRegistry()
+    empty.histogram("none")
+    assert empty.snapshot()["none"] == {"count": 0}
+
+
+def test_metric_classes_exported():
+    reg = MetricsRegistry()
+    assert isinstance(reg.counter("c"), Counter)
+    assert isinstance(reg.gauge("g"), Gauge)
+    assert isinstance(reg.histogram("h"), Histogram)
+
+
+def test_registry_from_cluster_snapshot():
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3, seed=3
+    )
+    cluster.boot()
+    book = cluster.logbook(1)
+    seqnum = cluster.drive(book.append("hello"))
+    cluster.drive(book.read_next(min_seqnum=seqnum))
+
+    reg = registry_from_cluster(cluster)
+    assert reg.value("cluster.virtual_time") == cluster.env.now
+    assert reg.value("cluster.term_id") >= 1
+    assert reg.value("net.messages_sent") > 0
+    engine_names = [f"engine.{name}" for name in cluster.engines]
+    assert sum(reg.value(f"{p}.appends_started") for p in engine_names) == 1
+    assert sum(reg.value(f"{p}.reads_served") for p in engine_names) >= 1
+    lookup_names = reg.names(prefix="engine.")
+    assert any(n.endswith(".lookups") for n in lookup_names)
+    storage_records = sum(
+        reg.value(n) for n in reg.names(prefix="storage.") if n.endswith(".records")
+    )
+    assert storage_records > 0  # the append was replicated and ordered
+    seq_entries = sum(
+        reg.value(n)
+        for n in reg.names(prefix="sequencer.")
+        if n.endswith(".entries_appended")
+    )
+    assert seq_entries >= 1
+
+
+def test_cluster_metrics_snapshot_uses_obs_registry():
+    cluster = BokiCluster(
+        num_function_nodes=1, num_storage_nodes=3, num_sequencer_nodes=3, seed=3
+    )
+    obs = cluster.enable_observability()
+    cluster.boot()
+    reg = cluster.metrics_snapshot()
+    assert reg is obs.metrics  # live registry reused, not a copy
+    assert reg.value("cluster.virtual_time") == cluster.env.now

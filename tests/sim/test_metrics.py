@@ -55,6 +55,24 @@ class TestLatencyRecorder:
         with pytest.raises(ValueError):
             rec.median()
 
+    def test_sorted_cache_invalidated_on_record(self):
+        rec = LatencyRecorder()
+        for v in [3.0, 1.0, 2.0]:
+            rec.record(v)
+        assert rec.median() == 2.0  # populates the cache
+        rec.record(0.5)
+        assert rec.sorted_samples() == [0.5, 1.0, 2.0, 3.0]
+        assert rec.percentile(0) == 0.5
+        assert rec.max() == 3.0
+
+    def test_summary_matches_percentile_function(self):
+        rec = LatencyRecorder()
+        data = [float(i) for i in range(1, 101)]
+        for v in data:
+            rec.record(v)
+        assert rec.p99() == percentile(data, 99)
+        assert rec.summary()["p99"] == percentile(data, 99)
+
 
 class TestCounter:
     def test_throughput(self):
@@ -85,6 +103,15 @@ class TestTimeSeries:
         for t in range(10):
             ts.add(float(t), t * 10.0)
         assert ts.window(2.0, 5.0) == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_window_edges(self):
+        ts = TimeSeries()
+        for t in range(5):
+            ts.add(float(t), float(t))
+        assert ts.window(0.0, 5.0) == ts.points  # start-inclusive, end-exclusive
+        assert ts.window(4.0, 4.0) == []
+        assert ts.window(-1.0, 0.5) == [(0.0, 0.0)]
+        assert ts.window(10.0, 20.0) == []
 
     def test_bucket_percentile(self):
         ts = TimeSeries()
