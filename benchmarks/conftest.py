@@ -1,0 +1,14 @@
+"""Benchmark-suite fixtures: per-test artifact telemetry lifecycle."""
+
+import pytest
+
+from benchmarks import _common
+
+
+@pytest.fixture(autouse=True)
+def _artifact_session():
+    """Each benchmark gets a fresh telemetry session, so its artifact's
+    counters and critical-path attribution cover exactly its own clusters."""
+    _common.reset_artifact_session()
+    yield
+    _common.reset_artifact_session()

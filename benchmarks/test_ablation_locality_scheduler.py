@@ -10,7 +10,16 @@ locality, reads are served by the local engine (no extra hop, warm cache).
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    info,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from repro.faas.scheduling import enable_locality_scheduling
 from repro.workloads.harness import run_closed_loop
 
@@ -81,6 +90,19 @@ def test_ablation_locality_scheduler(benchmark):
         "Ablation: function placement vs LogBook read locality",
         ["scheduler", "t-put", "read p50", "remote engine reads"],
         rows,
+    )
+
+    metrics = {}
+    for name, (result, remote_reads, scheduler) in results.items():
+        slug = name.replace("-", "_")
+        metrics[f"{slug}.throughput"] = throughput(result.throughput)
+        metrics[f"{slug}.p50_ms"] = lat_ms(result.median_latency())
+        metrics[f"{slug}.remote_reads"] = info(float(remote_reads))
+    emit_artifact(
+        "ablation_locality_scheduler",
+        metrics,
+        title="Ablation: locality-aware function scheduling",
+        config={"clients": CLIENTS, "duration_s": DURATION, "books": BOOKS},
     )
 
     rr, rr_remote, _ = results["round-robin"]

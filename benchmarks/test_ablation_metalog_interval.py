@@ -10,7 +10,16 @@ interval dwarfs the replication RTT.
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    info,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from repro.core import BokiConfig
 from repro.workloads.microbench import append_only
 
@@ -52,6 +61,20 @@ def test_ablation_metalog_batching_interval(benchmark):
         "Ablation: metalog batching interval",
         ["interval", "append p50", "append p99", "t-put", "metalog entries"],
         rows,
+    )
+
+    metrics = {}
+    for interval, (result, entries) in results.items():
+        slug = f"i{interval * 1e6:.0f}us"
+        metrics[f"{slug}.append_p50_ms"] = lat_ms(result.median_latency())
+        metrics[f"{slug}.append_p99_ms"] = lat_ms(result.p99_latency())
+        metrics[f"{slug}.throughput"] = throughput(result.throughput)
+        metrics[f"{slug}.metalog_entries"] = info(float(entries))
+    emit_artifact(
+        "ablation_metalog_interval",
+        metrics,
+        title="Ablation: metalog batching interval",
+        config={"intervals_s": INTERVALS, "clients": CLIENTS, "duration_s": DURATION},
     )
 
     # Longer batching -> strictly higher append latency.

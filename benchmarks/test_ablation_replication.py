@@ -9,7 +9,15 @@ append and costs throughput.
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from repro.core import BokiConfig
 from repro.workloads.microbench import append_only
 
@@ -50,6 +58,19 @@ def test_ablation_replication_factors(benchmark):
         "Ablation: replication factors",
         ["config", "append p50", "append p99", "t-put"],
         rows,
+    )
+
+    metrics = {}
+    for name, r in results.items():
+        slug = name.replace("=", "").replace(", ", ".")
+        metrics[f"{slug}.append_p50_ms"] = lat_ms(r.median_latency())
+        metrics[f"{slug}.append_p99_ms"] = lat_ms(r.p99_latency())
+        metrics[f"{slug}.throughput"] = throughput(r.throughput)
+    emit_artifact(
+        "ablation_replication",
+        metrics,
+        title="Ablation: replication factors (ndata, nmeta)",
+        config={"clients": CLIENTS, "duration_s": DURATION},
     )
 
     base = results["ndata=3, nmeta=3"]

@@ -11,7 +11,7 @@ mid-way; latencies are bucketed into a timeline around the event.
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import emit_artifact, lat_ms, make_cluster, ms, print_table, run_once
 from repro.core import BokiConfig
 from repro.sim.metrics import percentile
 
@@ -92,6 +92,20 @@ def test_fig10_append_latency_during_reconfiguration(benchmark):
             rows,
         )
         print(f"reconfiguration protocol took {ms(seal_duration)}")
+
+    metrics = {}
+    for nmeta, (series, seal_duration) in results.items():
+        steady = [lat for at, lat in series if at < RECONFIG_AT - BUCKET]
+        recovered = [lat for at, lat in series if at > RECONFIG_AT + 0.1]
+        metrics[f"nmeta{nmeta}.seal_ms"] = lat_ms(seal_duration)
+        metrics[f"nmeta{nmeta}.steady_p50_ms"] = lat_ms(percentile(steady, 50))
+        metrics[f"nmeta{nmeta}.recovered_p50_ms"] = lat_ms(percentile(recovered, 50))
+    emit_artifact(
+        "fig10_reconfig_latency",
+        metrics,
+        title="Figure 10: append latency across a reconfiguration",
+        config={"reconfig_at_s": RECONFIG_AT, "duration_s": DURATION, "bucket_s": BUCKET},
+    )
 
     for nmeta, (series, seal_duration) in results.items():
         before = [lat for at, lat in series if at < RECONFIG_AT - BUCKET]

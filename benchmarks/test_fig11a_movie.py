@@ -10,7 +10,7 @@ latency, with BokiFlow several-fold faster than Beldi.
 
 import pytest
 
-from benchmarks._common import run_once
+from benchmarks._common import emit_artifact, lat_ms, run_once
 from benchmarks._workflow_common import latency_vs_throughput, print_sweep
 from repro.workloads.movie import compose_review_request, register_full_movie_workflows
 
@@ -31,6 +31,19 @@ def experiment():
 def test_fig11a_movie_review_workload(benchmark):
     results = run_once(benchmark, experiment)
     print_sweep("Figure 11a: movie review workload", RATES, results)
+
+    emit_artifact(
+        "fig11a_movie",
+        {
+            f"{system.lower().replace(' ', '_')}.r{int(rate)}.p50_ms": lat_ms(
+                results[system][i].median_latency()
+            )
+            for system in results
+            for i, rate in enumerate(RATES)
+        },
+        title="Figure 11a: movie review workload",
+        config={"rates": RATES},
+    )
 
     mid = 1  # the 100 rps point
     unsafe = results["Unsafe baseline"][mid].median_latency()

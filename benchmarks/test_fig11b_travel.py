@@ -7,7 +7,7 @@ baseline.
 
 import pytest
 
-from benchmarks._common import run_once
+from benchmarks._common import emit_artifact, lat_ms, run_once
 from benchmarks._workflow_common import latency_vs_throughput, print_sweep
 from repro.workloads.travel import register_travel_workflows, reserve_request
 
@@ -28,6 +28,19 @@ def experiment():
 def test_fig11b_travel_reservation_workload(benchmark):
     results = run_once(benchmark, experiment)
     print_sweep("Figure 11b: travel reservation workload", RATES, results)
+
+    emit_artifact(
+        "fig11b_travel",
+        {
+            f"{system.lower().replace(' ', '_')}.r{int(rate)}.p50_ms": lat_ms(
+                results[system][i].median_latency()
+            )
+            for system in results
+            for i, rate in enumerate(RATES)
+        },
+        title="Figure 11b: travel reservation workload",
+        config={"rates": RATES},
+    )
 
     mid = 1
     unsafe = results["Unsafe baseline"][mid].median_latency()

@@ -8,7 +8,7 @@ same 5 log appends, but each costing multiple DynamoDB updates).
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import emit_artifact, make_cluster, ms, print_table, recorder_metrics, run_once
 from benchmarks._workflow_common import SYSTEMS
 from repro.workloads.primitives import measure_primitives, register_primitive_workflows
 
@@ -44,6 +44,21 @@ def test_fig11c_primitive_operations(benchmark):
         "Figure 11c: Beldi primitive ops — median (p99)",
         ["", *PRIMITIVES],
         rows,
+    )
+
+    metrics = {}
+    for system_name, recorders in results.items():
+        slug = system_name.lower().replace(" ", "_")
+        for primitive in PRIMITIVES:
+            metrics.update(recorder_metrics(f"{slug}.{primitive}", recorders[primitive]))
+    emit_artifact(
+        "fig11c_primitives",
+        metrics,
+        title="Figure 11c: Beldi primitive operations",
+        config={
+            "function_nodes": 8, "storage_nodes": 3, "index_engines_per_log": 8,
+            "ops_per_workflow": 25, "workflows": 4,
+        },
     )
 
     unsafe, beldi, boki = (

@@ -10,7 +10,15 @@ Paper (8 function / 3 storage nodes; MongoDB with 3 replicas):
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from benchmarks._retwis_common import run_retwis_bokistore, run_retwis_mongo
 from repro.baselines.mongodb import MongoDBService
 
@@ -90,6 +98,22 @@ def test_fig12_retwis_bokistore_vs_mongodb(benchmark):
         f"Figure 12b: latencies at {top} clients",
         ["request type", "Mongo p50", "Boki p50", "Mongo p99", "Boki p99"],
         rows,
+    )
+
+    metrics = {}
+    for system in ("MongoDB", "BokiStore"):
+        slug = system.lower()
+        for n in CLIENT_COUNTS:
+            metrics[f"{slug}.c{n}.throughput"] = throughput(results[system][n].throughput)
+        for kind in KIND_LABELS:
+            rec = results[system][top].by_kind[kind]
+            metrics[f"{slug}.{kind}.p50_ms"] = lat_ms(rec.median())
+            metrics[f"{slug}.{kind}.p99_ms"] = lat_ms(rec.p99())
+    emit_artifact(
+        "fig12_retwis",
+        metrics,
+        title="Figure 12: BokiStore vs MongoDB on Retwis",
+        config={"client_counts": CLIENT_COUNTS, "duration_s": DURATION, "num_users": NUM_USERS},
     )
 
     # Claim 1: BokiStore's overall throughput beats MongoDB at every scale

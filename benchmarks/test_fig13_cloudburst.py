@@ -12,7 +12,16 @@ BokiStore's KV puts use blind full-object writes.
 
 import pytest
 
-from benchmarks._common import kops, make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    kops,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from repro.baselines.cloudburst import CloudburstClient, CloudburstService
 from repro.libs.bokistore import BokiStore
 from repro.sim.metrics import LatencyRecorder
@@ -143,6 +152,21 @@ def test_fig13_bokistore_vs_cloudburst(benchmark):
             ["", *(f"{n} clients" for n in CLIENT_COUNTS)],
             rows,
         )
+
+    metrics = {}
+    for mode in ("get", "put"):
+        for system in ("Cloudburst", "BokiStore"):
+            slug = system.lower()
+            for n in CLIENT_COUNTS:
+                cell = results[mode][system][n][mode]
+                metrics[f"{slug}.{mode}.c{n}.throughput"] = throughput(cell["tput"])
+                metrics[f"{slug}.{mode}.c{n}.p50_ms"] = lat_ms(cell["recorder"].median())
+    emit_artifact(
+        "fig13_cloudburst",
+        metrics,
+        title="Figure 13: BokiStore vs Cloudburst on get/put",
+        config={"client_counts": CLIENT_COUNTS, "duration_s": DURATION, "num_keys": NUM_KEYS},
+    )
 
     top = CLIENT_COUNTS[-1]
 

@@ -12,7 +12,7 @@ Scaled: the run is 3 s of virtual time with reconfigurations every
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import emit_artifact, info, lat_ms, make_cluster, ms, print_table, run_once
 from repro.core import BokiConfig
 from repro.sim.kernel import Interrupt
 from repro.sim.metrics import percentile
@@ -77,6 +77,20 @@ def test_fig14_reconfiguration_frequency(benchmark):
         "Figure 14: latency sensitivity to reconfiguration frequency",
         ["frequency", "read p99", "read p99.9", "append p99", "append p99.9", "#reconfigs"],
         rows,
+    )
+
+    metrics = {}
+    for name, data in results.items():
+        slug = name.replace(" ", "_").replace(".", "p")
+        metrics[f"{slug}.read_p99_ms"] = lat_ms(percentile(data["read"], 99))
+        metrics[f"{slug}.append_p99_ms"] = lat_ms(percentile(data["append"], 99))
+        metrics[f"{slug}.append_p999_ms"] = lat_ms(percentile(data["append"], 99.9))
+        metrics[f"{slug}.reconfigs"] = info(float(data["reconfigs"]))
+    emit_artifact(
+        "fig14_reconfig_freq",
+        metrics,
+        title="Figure 14: sensitivity to reconfiguration frequency",
+        config={"duration_s": DURATION, "frequencies": sorted(FREQUENCIES)},
     )
 
     base = results["none"]

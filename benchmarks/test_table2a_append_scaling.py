@@ -11,7 +11,16 @@ insensitivity.
 
 import pytest
 
-from benchmarks._common import kops, make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    kops,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from repro.core import BokiConfig
 from repro.workloads.microbench import append_only
 
@@ -57,6 +66,22 @@ def test_table2a_append_throughput_scaling(benchmark):
     print(
         f"latency at smallest scale: median {ms(base.median_latency())}, "
         f"p99 {ms(base.p99_latency())}"
+    )
+
+    metrics = {
+        f"nmeta{nmeta}.c{clients}.s{storage}.throughput": throughput(
+            table[(nmeta, clients, storage)].throughput
+        )
+        for nmeta in (3, 5)
+        for clients, storage in SWEEP
+    }
+    metrics["smallest.append.p50_ms"] = lat_ms(base.median_latency())
+    metrics["smallest.append.p99_ms"] = lat_ms(base.p99_latency())
+    emit_artifact(
+        "table2a_append_scaling",
+        metrics,
+        title="Table 2a: single-LogBook append throughput scaling",
+        config={"sweep": [list(cell) for cell in SWEEP], "duration_s": DURATION},
     )
 
     # Claim 1: throughput scales with storage nodes (>=2.5x from 2S to 8S).

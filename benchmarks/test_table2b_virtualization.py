@@ -10,7 +10,7 @@ logs (4 storage + 32 clients per log, as the paper adds nodes linearly).
 
 import pytest
 
-from benchmarks._common import kops, make_cluster, print_table, run_once
+from benchmarks._common import emit_artifact, kops, make_cluster, print_table, run_once, throughput
 from repro.workloads.microbench import append_only
 
 LOG_COUNTS = [1, 2, 4]
@@ -53,6 +53,19 @@ def test_table2b_logbook_virtualization(benchmark):
         "Table 2b: aggregate throughput over physical logs",
         ["", *(f"{n}PhyLog" for n in LOG_COUNTS)],
         rows,
+    )
+
+    emit_artifact(
+        "table2b_virtualization",
+        {
+            f"logs{logs}.books{books}.throughput": throughput(
+                table[(logs, books)].throughput
+            )
+            for logs in LOG_COUNTS
+            for books in BOOK_COUNTS
+        },
+        title="Table 2b: LogBook virtualization over physical logs",
+        config={"log_counts": LOG_COUNTS, "book_counts": BOOK_COUNTS, "duration_s": DURATION},
     )
 
     # Claim 1: throughput scales with physical logs (>=2.5x from 1 to 4).

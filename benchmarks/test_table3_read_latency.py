@@ -13,7 +13,7 @@ another network hop on top.
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import emit_artifact, make_cluster, ms, print_table, recorder_metrics, run_once
 from repro.workloads.microbench import append_and_read
 
 DURATION = 0.2
@@ -45,6 +45,19 @@ def test_table3_read_latencies(benchmark):
         ["99% tail", *(ms(results[k].p99_latency()) for k in results)],
     ]
     print_table("Table 3: LogBook read latencies", ["", *results.keys()], rows)
+
+    metrics = {}
+    for label, result in results.items():
+        metrics.update(recorder_metrics(label.replace(" ", "_"), result.latencies))
+    emit_artifact(
+        "table3_read_latency",
+        metrics,
+        title="Table 3: LogBook read latencies",
+        config={
+            "function_nodes": 8, "storage_nodes": 8, "index_engines_per_log": 4,
+            "clients": CLIENTS, "duration_s": DURATION,
+        },
+    )
 
     hit = results["local hit"].median_latency()
     miss = results["local miss"].median_latency()

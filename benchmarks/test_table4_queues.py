@@ -10,7 +10,15 @@ Paper (8 function / 3 storage nodes; P:C ratios 1:4, 4:1, 1:1):
 
 import pytest
 
-from benchmarks._common import make_cluster, ms, print_table, run_once
+from benchmarks._common import (
+    emit_artifact,
+    lat_ms,
+    make_cluster,
+    ms,
+    print_table,
+    run_once,
+    throughput,
+)
 from repro.baselines.pulsar import PulsarBroker
 from repro.baselines.sqs import SQSService
 from repro.workloads.queueing import (
@@ -69,15 +77,32 @@ def test_table4_queue_comparison(benchmark):
     for producers, consumers in CONFIGS:
         row = [f"{producers}P/{consumers}C"]
         for system in ("SQS", "Pulsar", "Boki"):
-            throughput, delivery = results[(producers, consumers, system)]
+            tput, delivery = results[(producers, consumers, system)]
             row.append(
-                f"{throughput / 1e3:.1f}K  {ms(delivery.median())} ({ms(delivery.p99())})"
+                f"{tput / 1e3:.1f}K  {ms(delivery.median())} ({ms(delivery.p99())})"
             )
         rows.append(row)
     print_table(
         "Table 4: queue throughput & delivery latency median (p99)",
         ["P/C", "SQS", "Pulsar", "Boki"],
         rows,
+    )
+
+    metrics = {}
+    for producers, consumers in CONFIGS:
+        for system in ("SQS", "Pulsar", "Boki"):
+            tput, delivery = results[(producers, consumers, system)]
+            prefix = f"{system.lower()}.p{producers}c{consumers}"
+            metrics[f"{prefix}.throughput"] = throughput(tput)
+            metrics[f"{prefix}.delivery_p50_ms"] = lat_ms(delivery.median())
+    emit_artifact(
+        "table4_queues",
+        metrics,
+        title="Table 4: BokiQueue vs SQS vs Pulsar",
+        config={
+            "configs": [list(c) for c in CONFIGS], "duration_s": DURATION,
+            "num_shards": NUM_SHARDS,
+        },
     )
 
     for producers, consumers in CONFIGS:

@@ -12,7 +12,7 @@ Paper (Retwis throughput in Op/s over increasing workload durations):
 
 import pytest
 
-from benchmarks._common import kops, make_cluster, print_table, run_once
+from benchmarks._common import emit_artifact, kops, make_cluster, print_table, run_once, throughput
 from benchmarks._retwis_common import run_retwis_bokistore
 from repro.baselines.redis import RedisClient, RedisService, redis_aux_channel
 
@@ -86,6 +86,22 @@ def test_table5_auxdata_importance(benchmark):
         "Table 5: Retwis throughput (Op/s) by aux-data backend",
         ["", *(f"{d:.2f}s run" for d in DURATIONS)],
         rows,
+    )
+
+    emit_artifact(
+        "table5_auxdata",
+        {
+            f"{variant}.d{duration}.throughput": throughput(
+                results[(variant, duration)].throughput
+            )
+            for variant in ("disabled", "redis", "boki")
+            for duration in DURATIONS
+        },
+        title="Table 5: aux-data replay optimization",
+        config={
+            "durations_s": DURATIONS, "clients": CLIENTS,
+            "num_users": NUM_USERS, "history": HISTORY,
+        },
     )
 
     short, long = DURATIONS

@@ -7,7 +7,7 @@ throughput — remote engines cost, but the degradation is moderate.
 
 import pytest
 
-from benchmarks._common import make_cluster, print_table, run_once
+from benchmarks._common import emit_artifact, make_cluster, print_table, run_once, throughput
 from benchmarks._retwis_common import run_retwis_bokistore
 
 FRACTIONS = [0.25, 0.5, 0.75, 1.0]
@@ -47,6 +47,21 @@ def test_table6_engine_locality(benchmark):
         "Table 6: throughput vs fraction of local reads",
         ["", *(f"{int(f * 100)}% local" for f in FRACTIONS)],
         rows,
+    )
+
+    emit_artifact(
+        "table6_locality",
+        {
+            f"local{int(fraction * 100)}.throughput": throughput(
+                results[fraction].throughput
+            )
+            for fraction in FRACTIONS
+        },
+        title="Table 6: LogBook engine read locality",
+        config={
+            "fractions": FRACTIONS, "clients": CLIENTS,
+            "duration_s": DURATION, "num_users": NUM_USERS,
+        },
     )
 
     # Claim 1: throughput increases monotonically with locality.

@@ -11,7 +11,7 @@ cache sizes sweep 64 KB - 4 MB (same ratio to the working set).
 
 import pytest
 
-from benchmarks._common import make_cluster, print_table, run_once
+from benchmarks._common import emit_artifact, make_cluster, print_table, run_once, throughput
 from benchmarks._retwis_common import run_retwis_bokistore
 from repro.core import BokiConfig
 
@@ -58,6 +58,22 @@ def test_table7_cache_size(benchmark):
         "Table 7: Retwis throughput (Op/s) vs LRU cache size",
         ["", *(label(s) for s in CACHE_SIZES)],
         rows,
+    )
+
+    emit_artifact(
+        "table7_cache_size",
+        {
+            f"{'backup' if backup else 'nobackup'}.{label(size)}.throughput": throughput(
+                results[(size, backup)].throughput
+            )
+            for backup in (False, True)
+            for size in CACHE_SIZES
+        },
+        title="Table 7: record-cache size and aux-data backup",
+        config={
+            "cache_sizes": CACHE_SIZES, "clients": CLIENTS,
+            "duration_s": DURATION, "num_users": NUM_USERS,
+        },
     )
 
     smallest, largest = CACHE_SIZES[0], CACHE_SIZES[-1]

@@ -14,7 +14,7 @@ any-shard placement with the log index is unaffected.
 
 import pytest
 
-from benchmarks._common import kops, make_cluster, print_table, run_once
+from benchmarks._common import emit_artifact, kops, make_cluster, print_table, run_once, throughput
 from repro.baselines.fixed_sharding import fixed_sharding_logbook
 from repro.core import BokiConfig
 from repro.sim.randvar import zipf_weights
@@ -74,6 +74,22 @@ def test_table8_log_index_vs_fixed_sharding(benchmark):
         "Table 8: append throughput over 128 LogBooks",
         ["", *DISTRIBUTIONS.keys()],
         rows,
+    )
+
+    def slug(dist):
+        return dist.lower().replace(" ", "").replace("(", "").replace(")", "").replace("=", "")
+
+    emit_artifact(
+        "table8_fixed_sharding",
+        {
+            f"{policy}.{slug(dist)}.throughput": throughput(
+                results[(policy, dist)].throughput
+            )
+            for policy in ("fixed", "index")
+            for dist in DISTRIBUTIONS
+        },
+        title="Table 8: log index vs fixed sharding under skew",
+        config={"num_books": NUM_BOOKS, "clients": CLIENTS, "duration_s": DURATION},
     )
 
     # Claim 1: under uniform load the two placements are comparable

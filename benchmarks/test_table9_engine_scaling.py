@@ -11,7 +11,7 @@ proportional to engines.
 
 import pytest
 
-from benchmarks._common import make_cluster, print_table, run_once
+from benchmarks._common import emit_artifact, make_cluster, print_table, run_once, throughput
 from benchmarks._retwis_common import RetwisRun
 from repro.libs.bokistore import BokiStore
 from repro.sim.kernel import Interrupt
@@ -107,6 +107,19 @@ def test_table9_scaling_logbook_engines(benchmark):
         "Table 9: read-only txn throughput vs LogBook engines",
         ["", *(f"{n} engines" for n in ENGINE_COUNTS)],
         rows,
+    )
+
+    emit_artifact(
+        "table9_engine_scaling",
+        {
+            f"engines{n}.read_txn_throughput": throughput(results[n])
+            for n in ENGINE_COUNTS
+        },
+        title="Table 9: scaling read-only txns with LogBook engines",
+        config={
+            "engine_counts": ENGINE_COUNTS, "readers_per_engine": READERS_PER_ENGINE,
+            "write_rate": WRITE_RATE, "duration_s": DURATION,
+        },
     )
 
     # Claim: read throughput scales with engines under a fixed write rate

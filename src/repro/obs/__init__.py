@@ -18,11 +18,40 @@ Modules
     second, and per-node CPU busy time.
 ``export``
     Chrome ``trace_event`` JSON and plain-text latency attribution.
+``critical_path``
+    Exact critical-path extraction over a request's span tree, with
+    per-component (network / sequencer / storage / engine / compute)
+    attribution that sums to the end-to-end latency.
+``bench``
+    Benchmark run artifacts, committed baselines, and the
+    improved/unchanged/regressed comparator behind
+    ``python -m repro.obs bench run|compare|report``.
 ``recorder``
     The enabled/disabled switch; disabled tracing costs one attribute
     check on the hot path.
 """
 
+# Initialize the sim substrate before any obs submodule: obs modules pull
+# from repro.sim.kernel/metrics while repro.sim.network pulls the DISABLED
+# recorder from here, and the cycle only resolves in this order (e.g. when
+# ``python -m repro.obs`` makes this package the first import).
+import repro.sim  # noqa: F401  (import-order dependency, see above)
+
+from repro.obs.bench import (
+    ArtifactWriter,
+    BenchmarkArtifact,
+    MetricDelta,
+    compare_artifacts,
+    load_artifact,
+    validate_artifact,
+)
+from repro.obs.critical_path import (
+    AttributionAggregate,
+    attribute_trace,
+    categorize,
+    critical_path,
+    critical_path_report,
+)
 from repro.obs.export import (
     attribution_report,
     self_times,
@@ -37,22 +66,33 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, regis
 from repro.obs.trace import Span, SpanContext, Tracer
 
 __all__ = [
+    "ArtifactWriter",
+    "AttributionAggregate",
+    "BenchmarkArtifact",
     "Counter",
     "DISABLED",
     "Gauge",
     "Histogram",
     "KernelProfiler",
+    "MetricDelta",
     "MetricsRegistry",
     "NodeProfile",
     "ObsRecorder",
     "Span",
     "SpanContext",
     "Tracer",
+    "attribute_trace",
     "attribution_report",
+    "categorize",
+    "compare_artifacts",
+    "critical_path",
+    "critical_path_report",
+    "load_artifact",
     "registry_from_cluster",
     "self_times",
     "slowest_trace",
     "to_chrome_trace",
     "trace_spans",
+    "validate_artifact",
     "write_chrome_trace",
 ]

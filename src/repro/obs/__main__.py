@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — the benchmark telemetry CLI."""
+
+import sys
+
+from repro.obs.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

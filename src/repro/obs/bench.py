@@ -1,0 +1,472 @@
+"""Benchmark run artifacts, baselines, and the perf-regression gate.
+
+Every ``benchmarks/test_*`` emits a :class:`BenchmarkArtifact`: the
+benchmark id, its config/scale factors and seed, headline metrics
+(latency percentiles, throughput, counter totals), and a critical-path
+attribution block explaining where the virtual time went. Artifacts are
+deterministic for a given seed (no wall-clock timestamps, sorted keys),
+so two same-seed runs produce byte-identical JSON.
+
+Committed baselines live in ``bench/baselines/*.json``; the comparator
+classifies each metric of a fresh run as improved / unchanged / regressed
+against them using per-metric tolerance bands and the metric's "better"
+direction. The CLI wires it together::
+
+    python -m repro.obs bench run [--all] [--update-baselines]
+    python -m repro.obs bench compare [--artifacts D] [--baselines D]
+    python -m repro.obs bench report [PATH ...]
+
+``compare`` exits non-zero when any metric regressed beyond tolerance —
+CI runs it as a gate on a fast benchmark subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA = "repro.bench/1"
+
+#: Default relative tolerance band. The DES is deterministic for a given
+#: seed, so an unchanged tree matches its baseline exactly; the band
+#: absorbs intentional-but-small perf drift from unrelated changes.
+DEFAULT_TOLERANCE = 0.10
+
+IMPROVED = "improved"
+UNCHANGED = "unchanged"
+REGRESSED = "regressed"
+CHANGED = "changed"  # beyond tolerance, but the metric has no direction
+ADDED = "added"
+REMOVED = "removed"
+
+#: Benchmarks fast enough for the CI regression gate (< ~60 s together).
+FAST_SUBSET = (
+    "benchmarks/test_table3_read_latency.py",
+    "benchmarks/test_fig11c_primitives.py",
+)
+
+DEFAULT_ARTIFACT_DIR = "bench/artifacts"
+DEFAULT_BASELINE_DIR = "bench/baselines"
+ARTIFACT_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+# ----------------------------------------------------------------------
+# Metrics and the artifact schema
+# ----------------------------------------------------------------------
+def metric(
+    value: float,
+    unit: str = "",
+    better: Optional[str] = None,
+    tolerance: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One headline metric: value, unit, improvement direction
+    (``"lower"`` / ``"higher"`` / None), optional per-metric tolerance."""
+    if better not in (None, "lower", "higher"):
+        raise ValueError(f"bad direction {better!r}")
+    out: Dict[str, Any] = {"value": float(value), "unit": unit, "better": better}
+    if tolerance is not None:
+        out["tolerance"] = float(tolerance)
+    return out
+
+
+def lat_ms(seconds: float, tolerance: Optional[float] = None) -> Dict[str, Any]:
+    """A latency metric recorded in milliseconds (lower is better)."""
+    return metric(seconds * 1e3, unit="ms", better="lower", tolerance=tolerance)
+
+
+def throughput(per_second: float, tolerance: Optional[float] = None) -> Dict[str, Any]:
+    """A rate metric in ops/second (higher is better)."""
+    return metric(per_second, unit="op/s", better="higher", tolerance=tolerance)
+
+
+def info(value: float, unit: str = "") -> Dict[str, Any]:
+    """A directionless metric (counts, ratios) — reported, never gated."""
+    return metric(value, unit=unit, better=None)
+
+
+@dataclass
+class BenchmarkArtifact:
+    """One benchmark run's machine-readable result."""
+
+    benchmark_id: str
+    title: str = ""
+    seed: int = 0
+    config: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    critical_path: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "benchmark_id": self.benchmark_id,
+            "title": self.title,
+            "seed": self.seed,
+            "config": self.config,
+            "metrics": self.metrics,
+            "counters": self.counters,
+            "critical_path": self.critical_path,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: sorted keys, fixed separators, one
+        trailing newline — byte-identical across same-seed runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def validate_artifact(doc: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` listing every schema violation in ``doc``."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError("artifact is not a JSON object")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not doc.get("benchmark_id") or not isinstance(doc.get("benchmark_id"), str):
+        problems.append("benchmark_id missing or not a string")
+    if not isinstance(doc.get("seed"), int):
+        problems.append("seed missing or not an int")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config missing or not an object")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics missing or empty")
+    else:
+        for name, m in metrics.items():
+            if not isinstance(m, dict) or "value" not in m:
+                problems.append(f"metric {name!r} has no value")
+                continue
+            if not isinstance(m["value"], (int, float)):
+                problems.append(f"metric {name!r} value is not a number")
+            if m.get("better") not in (None, "lower", "higher"):
+                problems.append(f"metric {name!r} has bad direction {m.get('better')!r}")
+    if not isinstance(doc.get("counters"), dict):
+        problems.append("counters missing or not an object")
+    if "critical_path" not in doc:
+        problems.append("critical_path block missing")
+    else:
+        cp = doc["critical_path"]
+        if cp is not None:
+            for key in ("traces", "total_s", "categories_s", "share"):
+                if key not in cp:
+                    problems.append(f"critical_path.{key} missing")
+    if problems:
+        raise ValueError("invalid artifact: " + "; ".join(problems))
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_artifact(doc)
+    return doc
+
+
+class ArtifactWriter:
+    """Writes artifacts as ``<dir>/<benchmark_id>.json`` (dir created)."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or os.environ.get(
+            ARTIFACT_DIR_ENV, DEFAULT_ARTIFACT_DIR
+        )
+
+    def write(self, artifact: BenchmarkArtifact) -> str:
+        doc = artifact.to_dict()
+        validate_artifact(doc)
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, f"{artifact.benchmark_id}.json")
+        with open(path, "w") as handle:
+            handle.write(artifact.to_json())
+        return path
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+@dataclass
+class MetricDelta:
+    """One metric's classification against its baseline."""
+
+    name: str
+    classification: str
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    rel_delta: Optional[float] = None
+    tolerance: float = DEFAULT_TOLERANCE
+    unit: str = ""
+
+    def describe(self) -> str:
+        if self.classification in (ADDED, REMOVED):
+            value = self.current if self.classification == ADDED else self.baseline
+            return f"{self.name}: {self.classification} ({value:g}{self.unit})"
+        sign = "+" if self.rel_delta >= 0 else ""
+        return (
+            f"{self.name}: {self.classification} "
+            f"({self.baseline:g} -> {self.current:g}{self.unit}, "
+            f"{sign}{self.rel_delta:.1%}, tol {self.tolerance:.0%})"
+        )
+
+
+def classify_metric(
+    name: str,
+    baseline: Optional[Dict[str, Any]],
+    current: Optional[Dict[str, Any]],
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> MetricDelta:
+    """Classify one metric. Tolerance precedence: the baseline metric's
+    own band, then the current one's, then ``default_tolerance``."""
+    if baseline is None:
+        return MetricDelta(name, ADDED, current=current["value"],
+                           unit=current.get("unit", ""))
+    if current is None:
+        return MetricDelta(name, REMOVED, baseline=baseline["value"],
+                           unit=baseline.get("unit", ""))
+    tolerance = baseline.get("tolerance", current.get("tolerance", default_tolerance))
+    base, cur = float(baseline["value"]), float(current["value"])
+    if base == 0.0:
+        rel = 0.0 if cur == 0.0 else float("inf")
+    else:
+        rel = (cur - base) / abs(base)
+    better = baseline.get("better", current.get("better"))
+    if abs(rel) <= tolerance:
+        cls = UNCHANGED
+    elif better is None:
+        cls = CHANGED
+    elif (rel < 0) == (better == "lower"):
+        cls = IMPROVED
+    else:
+        cls = REGRESSED
+    return MetricDelta(
+        name, cls, baseline=base, current=cur, rel_delta=rel,
+        tolerance=tolerance, unit=baseline.get("unit", ""),
+    )
+
+
+def compare_artifacts(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> List[MetricDelta]:
+    """Classify every metric present in either document (sorted by name)."""
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    names = sorted(set(base_metrics) | set(cur_metrics))
+    return [
+        classify_metric(
+            name, base_metrics.get(name), cur_metrics.get(name), default_tolerance
+        )
+        for name in names
+    ]
+
+
+def compare_dirs(
+    baseline_dir: str,
+    artifact_dir: str,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, List[MetricDelta]]:
+    """Compare every baseline that has a matching artifact; baselines with
+    no artifact map to an empty list (the caller decides how hard to
+    fail)."""
+    out: Dict[str, List[MetricDelta]] = {}
+    if not os.path.isdir(baseline_dir):
+        raise FileNotFoundError(f"no baseline directory {baseline_dir!r}")
+    for entry in sorted(os.listdir(baseline_dir)):
+        if not entry.endswith(".json"):
+            continue
+        baseline = load_artifact(os.path.join(baseline_dir, entry))
+        candidate = os.path.join(artifact_dir, entry)
+        if not os.path.exists(candidate):
+            out[baseline["benchmark_id"]] = []
+            continue
+        current = load_artifact(candidate)
+        out[baseline["benchmark_id"]] = compare_artifacts(
+            baseline, current, default_tolerance
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def render_artifact(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of one artifact (metrics + attribution)."""
+    lines = [f"=== {doc['benchmark_id']} — {doc.get('title') or 'benchmark'} ==="]
+    if doc.get("config"):
+        cfg = ", ".join(f"{k}={v}" for k, v in sorted(doc["config"].items()))
+        lines.append(f"config: {cfg} (seed {doc.get('seed', 0)})")
+    header = f"{'metric':<44} {'value':>12} {'unit':<6} {'better'}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(doc["metrics"]):
+        m = doc["metrics"][name]
+        lines.append(
+            f"{name:<44} {m['value']:>12.4g} {m.get('unit', ''):<6} "
+            f"{m.get('better') or '-'}"
+        )
+    cp = doc.get("critical_path")
+    if cp and cp.get("traces"):
+        lines.append(
+            f"critical path: {cp['traces']} traces, "
+            f"{cp['total_s'] * 1e3:.3f} ms attributed"
+        )
+        ranked = sorted(
+            cp["categories_s"].items(), key=lambda item: (-item[1], item[0])
+        )
+        for category, seconds in ranked:
+            share = cp["share"].get(category, 0.0)
+            lines.append(f"  {category:<10} {seconds * 1e3:>12.3f} ms  {share:>6.1%}")
+    return "\n".join(lines)
+
+
+def render_comparison(results: Dict[str, List[MetricDelta]]) -> str:
+    """Human-readable gate report over :func:`compare_dirs` output."""
+    lines: List[str] = []
+    for benchmark_id in sorted(results):
+        deltas = results[benchmark_id]
+        if not deltas:
+            lines.append(f"{benchmark_id}: NO ARTIFACT (benchmark not run)")
+            continue
+        counts: Dict[str, int] = {}
+        for delta in deltas:
+            counts[delta.classification] = counts.get(delta.classification, 0) + 1
+        summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        lines.append(f"{benchmark_id}: {summary}")
+        for delta in deltas:
+            if delta.classification != UNCHANGED:
+                lines.append(f"  {delta.describe()}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.obs bench run|compare|report
+# ----------------------------------------------------------------------
+def _repo_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    root = _repo_root()
+    if args.benchmarks:
+        targets = list(args.benchmarks)
+    elif args.all:
+        targets = ["benchmarks"]
+    else:
+        targets = list(FAST_SUBSET)
+    artifact_dir = os.path.abspath(args.artifacts)
+    env = dict(os.environ)
+    env[ARTIFACT_DIR_ENV] = artifact_dir
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider"]
+    cmd += [t if os.path.isabs(t) else os.path.join(root, t) for t in targets]
+    if args.keyword:
+        cmd += ["-k", args.keyword]
+    print(f"[bench] running: {' '.join(cmd)}")
+    print(f"[bench] artifacts -> {artifact_dir}")
+    proc = subprocess.run(cmd, env=env, cwd=root)
+    if proc.returncode != 0:
+        return proc.returncode
+    if args.update_baselines:
+        os.makedirs(args.baselines, exist_ok=True)
+        updated = 0
+        for entry in sorted(os.listdir(artifact_dir)):
+            if not entry.endswith(".json"):
+                continue
+            doc = load_artifact(os.path.join(artifact_dir, entry))
+            with open(os.path.join(args.baselines, entry), "w") as handle:
+                handle.write(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+            updated += 1
+        print(f"[bench] refreshed {updated} baseline(s) in {args.baselines}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = compare_dirs(args.baselines, args.artifacts, args.tolerance)
+    print(render_comparison(results))
+    regressed = sum(
+        1
+        for deltas in results.values()
+        for delta in deltas
+        if delta.classification == REGRESSED
+    )
+    missing = sum(1 for deltas in results.values() if not deltas)
+    if regressed:
+        print(f"[bench] FAIL: {regressed} metric(s) regressed beyond tolerance")
+        return 1
+    if missing and args.strict:
+        print(f"[bench] FAIL: {missing} baseline(s) without artifacts (--strict)")
+        return 1
+    print("[bench] OK: no regressions")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    paths = list(args.paths)
+    if not paths:
+        directory = args.artifacts
+        if not os.path.isdir(directory):
+            print(f"[bench] no artifact directory {directory!r}", file=sys.stderr)
+            return 2
+        paths = [
+            os.path.join(directory, entry)
+            for entry in sorted(os.listdir(directory))
+            if entry.endswith(".json")
+        ]
+    if not paths:
+        print("[bench] nothing to report", file=sys.stderr)
+        return 2
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        print(render_artifact(load_artifact(path)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Benchmark telemetry: run artifacts, attribution, regression gate.",
+    )
+    domains = parser.add_subparsers(dest="domain", required=True)
+    bench = domains.add_parser("bench", help="benchmark artifact pipeline")
+    sub = bench.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run benchmarks and emit artifacts")
+    run.add_argument("benchmarks", nargs="*", help="pytest targets (default: fast subset)")
+    run.add_argument("--all", action="store_true", help="run the full benchmarks/ tree")
+    run.add_argument("--artifacts", default=DEFAULT_ARTIFACT_DIR)
+    run.add_argument("--baselines", default=DEFAULT_BASELINE_DIR)
+    run.add_argument("-k", dest="keyword", default=None, help="pytest -k filter")
+    run.add_argument(
+        "--update-baselines", action="store_true",
+        help="copy emitted artifacts into the baseline directory",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="gate artifacts against baselines")
+    compare.add_argument("--artifacts", default=DEFAULT_ARTIFACT_DIR)
+    compare.add_argument("--baselines", default=DEFAULT_BASELINE_DIR)
+    compare.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    compare.add_argument(
+        "--strict", action="store_true",
+        help="also fail when a baseline has no matching artifact",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    report = sub.add_parser("report", help="pretty-print artifacts")
+    report.add_argument("paths", nargs="*", help="artifact files (default: all)")
+    report.add_argument("--artifacts", default=DEFAULT_ARTIFACT_DIR)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

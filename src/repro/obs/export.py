@@ -15,6 +15,7 @@ replicate fan-out — are not double-counted), aggregated per component.
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.trace import Span
@@ -98,6 +99,9 @@ def to_chrome_trace(spans: Iterable[Span], trace_id: Optional[int] = None) -> st
 
 def write_chrome_trace(path: str, spans: Iterable[Span], trace_id: Optional[int] = None) -> str:
     text = to_chrome_trace(spans, trace_id=trace_id)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as handle:
         handle.write(text)
     return text

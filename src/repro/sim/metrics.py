@@ -69,6 +69,9 @@ class LatencyRecorder:
     def median(self) -> float:
         return self.percentile(50)
 
+    def p95(self) -> float:
+        return self.percentile(95)
+
     def p99(self) -> float:
         return self.percentile(99)
 
@@ -93,6 +96,23 @@ class LatencyRecorder:
             "p99": self.p99(),
             "mean": self.mean(),
             "max": self.max(),
+        }
+
+    def summary_dict(self) -> Dict[str, float]:
+        """JSON-ready percentile summary under stable ``pNN`` keys, so
+        benchmarks stop hand-rolling percentile dicts."""
+        ordered = self.sorted_samples()
+        if not ordered:
+            raise ValueError("no samples")
+        return {
+            "count": float(len(ordered)),
+            "mean": self.mean(),
+            "min": ordered[0],
+            "p50": percentile_sorted(ordered, 50),
+            "p95": percentile_sorted(ordered, 95),
+            "p99": percentile_sorted(ordered, 99),
+            "p999": percentile_sorted(ordered, 99.9),
+            "max": ordered[-1],
         }
 
 

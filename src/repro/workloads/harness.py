@@ -207,8 +207,10 @@ def dump_slowest_trace(result: RunResult, obs, path: Optional[str] = None) -> Tu
     measured request of a traced run (``obs`` passed to the run).
 
     Returns ``(chrome_json, report_text)``; with ``path``, also writes
-    ``<path>.json`` and ``<path>.txt``.
+    ``<path>.json`` and ``<path>.txt`` (parent directories are created).
     """
+    import os
+
     from repro.obs.export import attribution_report, slowest_trace, to_chrome_trace
 
     spans = obs.tracer.spans
@@ -220,6 +222,9 @@ def dump_slowest_trace(result: RunResult, obs, path: Optional[str] = None) -> Tu
     chrome_json = to_chrome_trace(spans, trace_id=trace_id)
     report = attribution_report(spans, trace_id=trace_id)
     if path is not None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(f"{path}.json", "w") as fh:
             fh.write(chrome_json)
         with open(f"{path}.txt", "w") as fh:

@@ -61,7 +61,9 @@ def append_only(
 
         return one_append
 
-    return run_closed_loop(cluster.env, make_op, num_clients, duration, warmup=warmup)
+    return run_closed_loop(
+        cluster.env, make_op, num_clients, duration, warmup=warmup, obs=cluster.obs
+    )
 
 
 def append_and_read(
@@ -119,7 +121,9 @@ def append_and_read(
 
         return one_cycle
 
-    result = run_closed_loop(env, make_op, num_clients, duration, warmup=warmup)
+    result = run_closed_loop(
+        env, make_op, num_clients, duration, warmup=warmup, obs=cluster.obs
+    )
     return {
         "cycle": result,
         "append": RunResult(state["appends"], duration, append_latencies),

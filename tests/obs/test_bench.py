@@ -1,0 +1,225 @@
+"""Benchmark artifacts, baseline comparator, and the regression-gate CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cluster import BokiCluster
+from repro.obs.bench import (
+    ADDED,
+    ARTIFACT_DIR_ENV,
+    CHANGED,
+    IMPROVED,
+    REGRESSED,
+    REMOVED,
+    UNCHANGED,
+    ArtifactWriter,
+    BenchmarkArtifact,
+    classify_metric,
+    compare_artifacts,
+    info,
+    lat_ms,
+    load_artifact,
+    main,
+    metric,
+    throughput,
+    validate_artifact,
+)
+from repro.obs.critical_path import AttributionAggregate
+from repro.workloads.harness import run_closed_loop
+
+
+# ----------------------------------------------------------------------
+# Comparator classification
+# ----------------------------------------------------------------------
+def test_lower_better_classifications():
+    base = lat_ms(0.010)
+    assert classify_metric("m", base, lat_ms(0.008)).classification == IMPROVED
+    assert classify_metric("m", base, lat_ms(0.012)).classification == REGRESSED
+    assert classify_metric("m", base, lat_ms(0.0105)).classification == UNCHANGED
+
+
+def test_higher_better_classifications():
+    base = throughput(100.0)
+    assert classify_metric("m", base, throughput(120.0)).classification == IMPROVED
+    assert classify_metric("m", base, throughput(80.0)).classification == REGRESSED
+    assert classify_metric("m", base, throughput(105.0)).classification == UNCHANGED
+
+
+def test_tolerance_edge_is_unchanged():
+    base = lat_ms(0.010)  # default tolerance 0.10
+    exactly = classify_metric("m", base, lat_ms(0.011))
+    assert exactly.classification == UNCHANGED
+    assert exactly.rel_delta == pytest.approx(0.10)
+    beyond = classify_metric("m", base, lat_ms(0.0111))
+    assert beyond.classification == REGRESSED
+
+
+def test_per_metric_tolerance_overrides_default():
+    base = lat_ms(0.010, tolerance=0.5)
+    assert classify_metric("m", base, lat_ms(0.014)).classification == UNCHANGED
+    assert classify_metric("m", base, lat_ms(0.016)).classification == REGRESSED
+
+
+def test_directionless_added_removed_and_zero_baseline():
+    base = info(4.0)
+    assert classify_metric("m", base, info(4.2)).classification == UNCHANGED
+    assert classify_metric("m", base, info(40.0)).classification == CHANGED
+    assert classify_metric("m", None, info(1.0)).classification == ADDED
+    assert classify_metric("m", base, None).classification == REMOVED
+    zero = metric(0.0, better="lower")
+    assert classify_metric("m", zero, metric(0.0, better="lower")).classification == UNCHANGED
+    assert classify_metric("m", zero, metric(1.0, better="lower")).classification == REGRESSED
+
+
+def test_compare_artifacts_covers_both_sides():
+    baseline = {"metrics": {"a": lat_ms(0.01), "gone": info(1.0)}}
+    current = {"metrics": {"a": lat_ms(0.02), "new": info(1.0)}}
+    deltas = compare_artifacts(baseline, current)
+    assert [(d.name, d.classification) for d in deltas] == [
+        ("a", REGRESSED), ("gone", REMOVED), ("new", ADDED),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Artifact schema and determinism
+# ----------------------------------------------------------------------
+def _run_artifact(seed):
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3, seed=seed
+    )
+    obs = cluster.enable_observability()
+    cluster.boot()
+    engines = list(cluster.engines.values())
+
+    def make_op(client):
+        book = cluster.logbook(1, engine=engines[client % len(engines)])
+
+        def op():
+            yield from book.append("y" * 128)
+
+        return op
+
+    result = run_closed_loop(
+        cluster.env, make_op, num_clients=2, duration=0.04, warmup=0.01, obs=obs
+    )
+    agg = AttributionAggregate()
+    agg.add_spans(obs.tracer.spans)
+    return BenchmarkArtifact(
+        benchmark_id="unit_append",
+        title="unit append run",
+        seed=seed,
+        config={"clients": 2, "duration_s": 0.04},
+        metrics={
+            "append.p50_ms": lat_ms(result.median_latency()),
+            "append.throughput": throughput(result.throughput),
+        },
+        counters={"completed": float(result.completed)},
+        critical_path=agg.to_dict(),
+    )
+
+
+def test_same_seed_runs_are_byte_identical():
+    first = _run_artifact(seed=13).to_json()
+    second = _run_artifact(seed=13).to_json()
+    assert first == second
+    # And the payload is schema-valid with a populated attribution block.
+    doc = json.loads(first)
+    validate_artifact(doc)
+    assert doc["critical_path"]["traces"] > 0
+
+
+def test_validate_artifact_lists_problems():
+    doc = _run_artifact(seed=13).to_dict()
+    validate_artifact(doc)  # the real thing passes
+    broken = dict(doc, schema="bogus/0", metrics={})
+    del broken["critical_path"]
+    with pytest.raises(ValueError) as excinfo:
+        validate_artifact(broken)
+    message = str(excinfo.value)
+    assert "schema" in message
+    assert "metrics" in message
+    assert "critical_path" in message
+
+
+def test_writer_honors_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "arts"))
+    artifact = _run_artifact(seed=13)
+    path = ArtifactWriter().write(artifact)
+    assert path == str(tmp_path / "arts" / "unit_append.json")
+    assert load_artifact(path)["benchmark_id"] == "unit_append"
+
+
+# ----------------------------------------------------------------------
+# CLI gate
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def gate_dirs(tmp_path):
+    baselines = tmp_path / "baselines"
+    artifacts = tmp_path / "artifacts"
+    baselines.mkdir()
+    artifacts.mkdir()
+    artifact = _run_artifact(seed=13)
+    (baselines / "unit_append.json").write_text(artifact.to_json())
+    (artifacts / "unit_append.json").write_text(artifact.to_json())
+    return baselines, artifacts
+
+
+def _compare(baselines, artifacts, *extra):
+    return main(
+        ["bench", "compare", "--baselines", str(baselines), "--artifacts", str(artifacts), *extra]
+    )
+
+
+def test_compare_unchanged_tree_exits_zero(gate_dirs, capsys):
+    baselines, artifacts = gate_dirs
+    assert _compare(baselines, artifacts) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_compare_perturbed_metric_exits_nonzero(gate_dirs, capsys):
+    baselines, artifacts = gate_dirs
+    doc = load_artifact(str(artifacts / "unit_append.json"))
+    doc["metrics"]["append.p50_ms"]["value"] *= 1.5  # regress beyond tolerance
+    (artifacts / "unit_append.json").write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n"
+    )
+    assert _compare(baselines, artifacts) == 1
+    out = capsys.readouterr().out
+    assert "regressed" in out
+
+
+def test_compare_within_tolerance_perturbation_passes(gate_dirs):
+    baselines, artifacts = gate_dirs
+    doc = load_artifact(str(artifacts / "unit_append.json"))
+    doc["metrics"]["append.p50_ms"]["value"] *= 1.05  # inside the 10% band
+    (artifacts / "unit_append.json").write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n"
+    )
+    assert _compare(baselines, artifacts) == 0
+
+
+def test_compare_missing_artifact_only_fails_strict(gate_dirs, capsys):
+    baselines, artifacts = gate_dirs
+    os.remove(str(artifacts / "unit_append.json"))
+    assert _compare(baselines, artifacts) == 0
+    assert "NO ARTIFACT" in capsys.readouterr().out
+    assert _compare(baselines, artifacts, "--strict") == 1
+
+
+def test_report_renders_artifact(gate_dirs, capsys):
+    _, artifacts = gate_dirs
+    assert main(["bench", "report", str(artifacts / "unit_append.json")]) == 0
+    out = capsys.readouterr().out
+    assert "unit_append" in out
+    assert "critical path" in out
+
+
+def test_committed_baselines_are_valid():
+    baseline_dir = os.path.join(os.path.dirname(__file__), "..", "..", "bench", "baselines")
+    entries = [e for e in sorted(os.listdir(baseline_dir)) if e.endswith(".json")]
+    assert entries, "no committed baselines"
+    for entry in entries:
+        doc = load_artifact(os.path.join(baseline_dir, entry))
+        assert doc["benchmark_id"] == entry[: -len(".json")]
