@@ -36,7 +36,15 @@ def run_frequency(period):
                 yield env.timeout(period)
                 names = [f"seq-{i}" for i in range(8)]
                 rng.shuffle(names)
-                yield from cluster.controller.reconfigure(sequencer_names=names[:3])
+                chosen, spares = names[:3], names[3:]
+                # The incoming trio must be reachable for seal + install;
+                # afterwards the idle spares are fenced off (partitioned
+                # from the serving cluster, though still connected to each
+                # other) until a later round picks them again.
+                cluster.net.heal_all()
+                yield from cluster.controller.reconfigure(sequencer_names=chosen)
+                active = sorted(set(cluster.net.nodes) - set(spares))
+                cluster.net.partition_groups([spares, active])
         except Interrupt:
             return
 

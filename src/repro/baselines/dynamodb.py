@@ -76,6 +76,11 @@ class DynamoDBService:
         self._slots = Resource(env, capacity=DYNAMODB_CONCURRENCY)
         self.tables: Dict[str, Dict[Any, dict]] = {}
         self.op_count = 0
+        #: Applied-effect journal (repro.chaos): one entry per *applied*
+        #: update that carried an ``effect_id``. A logical effect appearing
+        #: twice here means a duplicated side effect (exactly-once
+        #: violation); the chaos checkers audit this list.
+        self.effect_log: list = []
         self.node.handle("ddb.get", self._h_get)
         self.node.handle("ddb.put", self._h_put)
         self.node.handle("ddb.update", self._h_update)
@@ -114,6 +119,8 @@ class DynamoDBService:
         item = table.get(payload["key"])
         if not _check_condition(item, payload.get("condition")):
             raise ConditionFailedError(payload["key"])
+        if payload.get("effect_id") is not None:
+            self.effect_log.append((payload["effect_id"], payload["table"], payload["key"]))
         if item is None:
             item = table[payload["key"]] = {}
         for name, value in payload.get("set", {}).items():
@@ -171,6 +178,7 @@ class DynamoDBClient:
         set_attrs: Optional[dict] = None,
         add_attrs: Optional[dict] = None,
         condition: Optional[Tuple] = None,
+        effect_id: Any = None,
     ) -> Generator:
         return (
             yield from self._call(
@@ -181,6 +189,7 @@ class DynamoDBClient:
                     "set": set_attrs or {},
                     "add": add_attrs or {},
                     "condition": condition,
+                    "effect_id": effect_id,
                 },
             )
         )

@@ -37,7 +37,13 @@ class UnsafeEnv:
 
     def write(self, table: str, key: Any, value: Any) -> Generator:
         self._pre_step()
-        yield from self.db.update(table, key, set_attrs={"Value": value})
+        # Same logical effect identity as WorkflowEnv.write, but applied
+        # with a plain (unconditional) update: a re-executed workflow
+        # re-applies the effect — the duplication the chaos checkers catch.
+        yield from self.db.update(
+            table, key, set_attrs={"Value": value},
+            effect_id=(self.workflow_id, self.step),
+        )
         self.step += 1
 
     def cond_write(self, table: str, key: Any, value: Any, expected: Any) -> Generator:
@@ -45,7 +51,10 @@ class UnsafeEnv:
         current = yield from self.db.get(table, key)
         outcome = current is not None and current.get("Value") == expected
         if outcome:
-            yield from self.db.update(table, key, set_attrs={"Value": value})
+            yield from self.db.update(
+                table, key, set_attrs={"Value": value},
+                effect_id=(self.workflow_id, self.step),
+            )
         self.step += 1
         return outcome
 

@@ -1,0 +1,92 @@
+"""CLI: ``python -m repro.chaos``.
+
+Commands
+--------
+``list``
+    Show the scenario catalog.
+``run <scenario>|all|fast [--seed N | --seeds N N ...] [--out DIR]``
+    Execute scenarios, write verdict artifacts, print a summary; exits
+    non-zero if any scenario's verdict is not ``passed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.chaos.runner import run_scenario, write_verdict
+from repro.chaos.scenarios import SCENARIOS, all_scenarios, fast_scenarios
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(name) for name in SCENARIOS)
+    for name in all_scenarios():
+        scenario = SCENARIOS[name]
+        flags = []
+        if scenario.fast:
+            flags.append("fast")
+        if scenario.expect_violations:
+            flags.append("expects-violations")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{name:<{width}}  {scenario.description}{suffix}")
+    return 0
+
+
+def _resolve(selector: str) -> List[str]:
+    if selector == "all":
+        return all_scenarios()
+    if selector == "fast":
+        return fast_scenarios()
+    if selector not in SCENARIOS:
+        known = ", ".join(all_scenarios())
+        raise SystemExit(f"unknown scenario {selector!r} (known: {known}, all, fast)")
+    return [selector]
+
+
+def _cmd_run(args) -> int:
+    names = _resolve(args.scenario)
+    seeds = args.seeds if args.seeds is not None else [args.seed]
+    failures = 0
+    for name in names:
+        for seed in seeds:
+            doc = run_scenario(name, seed=seed)
+            path = write_verdict(doc, directory=args.out)
+            status = "PASS" if doc["passed"] else "FAIL"
+            detail = ""
+            if doc["expect_violations"]:
+                detail = f" ({doc['violations']} violations, expected >0)"
+            elif doc["violations"]:
+                detail = f" ({doc['violations']} violations)"
+            print(f"[{status}] {name} seed={seed}{detail} -> {path}")
+            if not doc["passed"]:
+                failures += 1
+                for check in doc["checks"]:
+                    for violation in check["violations"]:
+                        print(f"    {check['name']}: {violation}")
+    print(f"{'FAILED' if failures else 'OK'}: "
+          f"{len(names) * len(seeds) - failures}/{len(names) * len(seeds)} verdicts passed")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.chaos",
+                                     description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the scenario catalog")
+    run = sub.add_parser("run", help="run scenarios and write verdicts")
+    run.add_argument("scenario", help="scenario name, 'all', or 'fast'")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--seeds", type=int, nargs="+", default=None,
+                     help="run each scenario once per seed")
+    run.add_argument("--out", default=None,
+                     help="verdict directory (default bench/chaos or $REPRO_CHAOS_DIR)")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Scenario runner + verdict artifacts.
+
+Verdicts follow the ``repro.obs.bench`` artifact conventions: pure-JSON
+documents serialized with sorted keys, fixed separators, and a trailing
+newline, containing no wall-clock state — so the same scenario + seed
+produces a byte-identical file (the determinism guarantee CI relies on).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.scenarios import SCENARIOS, Scenario, ScenarioResult
+
+SCHEMA = "repro.chaos/1"
+DEFAULT_VERDICT_DIR = "bench/chaos"
+VERDICT_DIR_ENV = "REPRO_CHAOS_DIR"
+
+
+def run_scenario(name: str, seed: int = 0) -> Dict[str, Any]:
+    """Execute one scenario and return its verdict document."""
+    try:
+        scenario: Scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+    result: ScenarioResult = scenario.fn(seed)
+    checks = [c.to_dict() for c in result.checks]
+    # Sanity violations ("the faults never overlapped the load") always
+    # fail the verdict; they never satisfy an expect_violations scenario —
+    # only guarantee checkers can provide the expected violations.
+    sanity = sum(len(c["violations"]) for c in checks
+                 if c["name"] == "scenario-sanity")
+    violations = sum(len(c["violations"]) for c in checks
+                     if c["name"] != "scenario-sanity")
+    if scenario.expect_violations:
+        passed = sanity == 0 and violations > 0
+    else:
+        passed = sanity == 0 and violations == 0
+    return {
+        "schema": SCHEMA,
+        "scenario": name,
+        "description": scenario.description,
+        "seed": seed,
+        "expect_violations": scenario.expect_violations,
+        "violations": violations,
+        "passed": passed,
+        "checks": checks,
+        "timeline": result.timeline,
+        "stats": result.stats,
+    }
+
+
+def verdict_to_json(doc: Dict[str, Any]) -> str:
+    """Deterministic serialization (mirrors BenchmarkArtifact.to_json)."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def validate_verdict(doc: Dict[str, Any]) -> None:
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("scenario"), str) or not doc.get("scenario"):
+        problems.append("scenario missing")
+    if not isinstance(doc.get("seed"), int):
+        problems.append("seed missing or not an int")
+    if not isinstance(doc.get("passed"), bool):
+        problems.append("passed missing or not a bool")
+    if not isinstance(doc.get("checks"), list) or not doc.get("checks"):
+        problems.append("checks missing or empty")
+    else:
+        for check in doc["checks"]:
+            if not isinstance(check, dict) or "name" not in check or "violations" not in check:
+                problems.append("malformed check entry")
+    if not isinstance(doc.get("timeline"), list):
+        problems.append("timeline missing or not a list")
+    if not isinstance(doc.get("stats"), dict):
+        problems.append("stats missing or not an object")
+    if problems:
+        raise ValueError("invalid verdict: " + "; ".join(problems))
+
+
+def write_verdict(doc: Dict[str, Any], directory: Optional[str] = None) -> str:
+    """Write ``chaos_<scenario>_seed<seed>.json``; returns the path."""
+    validate_verdict(doc)
+    directory = directory or os.environ.get(VERDICT_DIR_ENV, DEFAULT_VERDICT_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"chaos_{doc['scenario']}_seed{doc['seed']}.json")
+    with open(path, "w") as handle:
+        handle.write(verdict_to_json(doc))
+    return path
+
+
+def load_verdict(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_verdict(doc)
+    return doc

@@ -1,0 +1,478 @@
+"""Named chaos scenarios.
+
+Each scenario builds its own cluster from the given seed, drives client
+load while a :class:`~repro.chaos.faults.FaultInjector` replays a fault
+plan, then runs the offline checkers. Scenarios return the raw material
+for a verdict artifact: the checks, the applied fault timeline, and a few
+deterministic stats.
+
+Scenarios marked ``expect_violations`` run the same workload against the
+non-fault-tolerant baseline (``repro.baselines.unsafe``) and *must* be
+flagged by the checkers — they prove the checkers have teeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.baselines.dynamodb import DynamoDBService
+from repro.chaos.checkers import (
+    CheckResult,
+    check_exactly_once,
+    check_metalog,
+    check_queue_delivery,
+    check_store_linearizability,
+)
+from repro.chaos.faults import FaultInjector, FaultPlan
+from repro.chaos.history import History
+from repro.core.cluster import BokiCluster
+from repro.libs.bokiqueue.queue import BokiQueue
+from repro.libs.bokistore.store import BokiStore
+
+
+@dataclass
+class ScenarioResult:
+    checks: List[CheckResult]
+    timeline: List[dict]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    description: str
+    fn: Callable[[int], ScenarioResult]
+    expect_violations: bool = False
+    fast: bool = False
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _scenario(name: str, description: str, expect_violations: bool = False,
+              fast: bool = False):
+    def deco(fn):
+        SCENARIOS[name] = Scenario(name, description, fn, expect_violations, fast)
+        return fn
+    return deco
+
+
+# ----------------------------------------------------------------------
+# Shared load helpers
+# ----------------------------------------------------------------------
+def _store_load(cluster: BokiCluster, history: History, num_clients: int = 3,
+                ops_per_client: int = 25, num_keys: int = 4,
+                think_base: float = 0.02, book_id: int = 1):
+    """Client processes doing put/get on shared keys through ONE engine.
+
+    All clients share an engine because BokiStore's linearizability claim
+    is per-index: cross-engine reads only get read-your-writes/monotonic
+    reads (§4.4), which a linearizability checker would rightly reject.
+    """
+    env = cluster.env
+    engine = cluster.engines["func-0"]
+    rng = cluster.streams.stream("chaos-load")
+
+    def client(i: int):
+        store = BokiStore(cluster.logbook(book_id, engine=engine))
+        store.history = history
+        store.client_name = f"client-{i}"
+        for j in range(ops_per_client):
+            key = f"obj-{j % num_keys}"
+            try:
+                if rng.random() < 0.5:
+                    yield from store.put(key, {"writer": f"c{i}", "n": j})
+                else:
+                    yield from store.get_object(key)
+            except Exception:
+                # The op stays indeterminate in the history; the client
+                # moves on, as a retrying application would.
+                pass
+            yield env.timeout(think_base + rng.random() * think_base)
+
+    return [env.process(client(i), name=f"chaos-client-{i}")
+            for i in range(num_clients)]
+
+
+def _drive_all(cluster: BokiCluster, procs, limit: float = 300.0) -> None:
+    cluster.env.run_until(cluster.env.all_of(procs), limit=limit)
+
+
+def _sanity(conditions: List) -> CheckResult:
+    """Scenario self-check: did the faults actually overlap the load?
+
+    A scenario whose workload finishes before its fault window closes is
+    not testing what it claims, even if every guarantee checker passes —
+    so overlap failures are verdict failures, not silent no-ops.
+    """
+    violations = [message for ok, message in conditions if not ok]
+    return CheckResult("scenario-sanity", violations, len(conditions))
+
+
+def _ok_ops_after(history: History, t: float) -> int:
+    return sum(1 for op in history.ops if op.status == "ok" and op.t_invoke >= t)
+
+
+def _base_stats(cluster: BokiCluster, history: History) -> Dict[str, float]:
+    return {
+        "virtual_time_s": round(cluster.env.now, 6),
+        "ops_recorded": len(history),
+        "messages_sent": cluster.net.messages_sent,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+@_scenario(
+    "crash-primary-sequencer",
+    "Crash the primary sequencer mid-append under store load; the failure "
+    "detector seals the term and reconfigures; linearizability and metalog "
+    "consistency must survive.",
+)
+def crash_primary_sequencer(seed: int) -> ScenarioResult:
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=4,
+        seed=seed, use_coord_sessions=True,
+    )
+    cluster.boot()
+    history = History(cluster.env)
+    initial_term = cluster.controller.current_term.term_id
+    primary = cluster.term.assignment(0).primary
+    crash_at = 0.5
+    plan = FaultPlan().crash(crash_at, primary)
+    injector = FaultInjector(cluster.env, cluster.net, plan)
+    injector.start()
+    # Appends stall from the crash until the session-based failure detector
+    # seals the term and the controller reconfigures (~session timeout),
+    # so the load must carry enough operations to ride through the stall
+    # and keep operating in the new term.
+    procs = _store_load(cluster, history, num_clients=3, ops_per_client=30)
+    _drive_all(cluster, procs, limit=300.0)
+    final_term = cluster.controller.current_term.term_id
+    ops_after = _ok_ops_after(history, crash_at)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        _sanity([
+            (final_term > initial_term,
+             f"no reconfiguration happened: term stayed {initial_term}"),
+            (ops_after > 0, "no operation completed after the crash"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["initial_term"] = initial_term
+    stats["final_term"] = final_term
+    stats["ops_ok_after_crash"] = ops_after
+    return ScenarioResult(checks, injector.timeline, stats)
+
+
+@_scenario(
+    "partition-storage-under-load",
+    "Partition one storage node away from the rest of the cluster during "
+    "store load, then heal; appends stall on the replication quorum but "
+    "no acknowledged write may be lost or reordered.",
+)
+def partition_storage_under_load(seed: int) -> ScenarioResult:
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
+        seed=seed,
+    )
+    cluster.boot()
+    history = History(cluster.env)
+    victim = cluster.storage_nodes[0].name
+    others = sorted(set(cluster.net.nodes) - {victim})
+    part_at, heal_at = 0.3, 0.9
+    plan = (
+        FaultPlan()
+        .partition_groups(part_at, [[victim], others])
+        .heal_all(heal_at)
+    )
+    injector = FaultInjector(cluster.env, cluster.net, plan)
+    injector.start()
+    procs = _store_load(cluster, history, num_clients=3, ops_per_client=25)
+    _drive_all(cluster, procs, limit=300.0)
+    ops_after = _ok_ops_after(history, heal_at)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        _sanity([
+            (len(injector.timeline) == 2, "partition/heal did not both fire"),
+            (ops_after > 0, "no operation completed after the heal"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["ops_ok_after_heal"] = ops_after
+    return ScenarioResult(checks, injector.timeline, stats)
+
+
+@_scenario(
+    "storage-node-flap",
+    "Crash and recover a storage node twice under load (restart hooks "
+    "re-configure it into the current term); replication retries must "
+    "preserve linearizability without a reconfiguration.",
+)
+def storage_node_flap(seed: int) -> ScenarioResult:
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
+        seed=seed,
+    )
+    cluster.boot()
+    history = History(cluster.env)
+    snode = cluster.storage_nodes[0]
+    # Recovery: records survive the crash (durable disk); the restart hook
+    # re-installs the term so progress reporting resumes.
+    snode.node.restart_hooks.append(lambda n, s=snode: s.configure(s.term_config))
+    last_restart = 1.2
+    plan = (
+        FaultPlan()
+        .crash(0.3, snode.name)
+        .restart(0.6, snode.name)
+        .crash(0.9, snode.name)
+        .restart(last_restart, snode.name)
+    )
+    injector = FaultInjector(cluster.env, cluster.net, plan)
+    injector.start()
+    procs = _store_load(cluster, history, num_clients=3, ops_per_client=25)
+    _drive_all(cluster, procs, limit=300.0)
+    ops_after = _ok_ops_after(history, last_restart)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        _sanity([
+            (snode.node.crash_count == 2,
+             f"expected 2 crashes, saw {snode.node.crash_count}"),
+            (len(injector.timeline) == 4, "not all crash/restart events fired"),
+            (ops_after > 0, "no operation completed after the final restart"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["storage_crashes"] = snode.node.crash_count
+    stats["ops_ok_after_final_restart"] = ops_after
+    return ScenarioResult(checks, injector.timeline, stats)
+
+
+@_scenario(
+    "slow-primary-sequencer",
+    "Degrade the primary sequencer's CPU (every message it handles takes "
+    "2 ms longer) for a window; ordering slows but linearizability and "
+    "metalog invariants must hold.",
+    fast=True,
+)
+def slow_primary_sequencer(seed: int) -> ScenarioResult:
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
+        seed=seed,
+    )
+    cluster.boot()
+    history = History(cluster.env)
+    primary = cluster.term.assignment(0).primary
+    restore_at = 0.9
+    plan = (
+        FaultPlan()
+        .slowdown(0.2, primary, 2e-3)
+        .slowdown(restore_at, primary, 0.0)
+    )
+    injector = FaultInjector(cluster.env, cluster.net, plan)
+    injector.start()
+    procs = _store_load(cluster, history, num_clients=2, ops_per_client=30)
+    _drive_all(cluster, procs, limit=300.0)
+    ops_after = _ok_ops_after(history, restore_at)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        _sanity([
+            (len(injector.timeline) == 2, "slowdown/restore did not both fire"),
+            (ops_after > 0, "no operation completed after the restore"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["ops_ok_after_restore"] = ops_after
+    return ScenarioResult(checks, injector.timeline, stats)
+
+
+# ----------------------------------------------------------------------
+# BokiFlow exactly-once (and the unsafe baseline that breaks it)
+# ----------------------------------------------------------------------
+def _flow_crash_retry(seed: int, runtime_cls) -> ScenarioResult:
+    cluster = BokiCluster(num_function_nodes=2, seed=seed)
+    db = DynamoDBService(cluster.env, cluster.net, cluster.streams)
+    cluster.boot()
+    runtime = runtime_cls(cluster)
+
+    def body(env, arg):
+        current = (yield from env.read("t", "counter")) or 0
+        yield from env.write("t", "counter", current + 1)   # step 0
+        yield from env.write("t", "audit", f"run-{arg}")    # step 1
+        yield from env.write("t", "final", "done")          # step 2
+        return (yield from env.read("t", "counter"))
+
+    runtime.register_workflow("wf", body)
+
+    # Crash the first execution after step 1 has applied its effect.
+    state = {"crashed": False}
+
+    def hook(step):
+        from repro.libs.bokiflow.env import WorkflowCrash
+        if step == 2 and not state["crashed"]:
+            state["crashed"] = True
+            raise WorkflowCrash("injected mid-workflow crash")
+
+    runtime.fault_hook = hook
+    wf_id = "chaos-wf-1"
+    outcome = {}
+
+    def flow():
+        from repro.libs.bokiflow.env import WorkflowCrash
+        try:
+            yield from runtime.start_workflow("wf", 1, book_id=1, workflow_id=wf_id)
+            outcome["first"] = "completed"
+        except WorkflowCrash:
+            outcome["first"] = "crashed"
+        outcome["result"] = yield from runtime.start_workflow(
+            "wf", 1, book_id=1, workflow_id=wf_id
+        )
+
+    cluster.drive(flow(), limit=300.0)
+    expected = [(wf_id, 0), (wf_id, 1), (wf_id, 2)]
+    checks = [
+        check_exactly_once(db.effect_log, expected),
+        _sanity([
+            (outcome.get("first") == "crashed",
+             "first execution did not crash at the fault hook"),
+            (outcome.get("result") is not None, "retry did not complete"),
+        ]),
+    ]
+    stats = {
+        "virtual_time_s": round(cluster.env.now, 6),
+        "first_execution": 1.0 if outcome.get("first") == "crashed" else 0.0,
+        "counter_result": float(outcome.get("result") or 0),
+        "effects_applied": len(db.effect_log),
+    }
+    timeline = [{"t": 0.0, "action": "fault_hook",
+                 "args": ["crash-before-step-2-first-execution"]}]
+    return ScenarioResult(checks, timeline, stats)
+
+
+@_scenario(
+    "flow-crash-retry",
+    "Crash a BokiFlow workflow mid-execution and re-execute it with the "
+    "same workflow id; every database effect must apply exactly once "
+    "(Figure 6a's test-and-append + idempotent writes).",
+    fast=True,
+)
+def flow_crash_retry(seed: int) -> ScenarioResult:
+    from repro.libs.bokiflow import BokiFlowRuntime
+    return _flow_crash_retry(seed, BokiFlowRuntime)
+
+
+@_scenario(
+    "unsafe-flow-crash-retry",
+    "The same crash-and-retry workload against repro.baselines.unsafe "
+    "(no logging): the re-executed prefix re-applies its writes and the "
+    "exactly-once checker MUST flag duplicated effects.",
+    expect_violations=True,
+    fast=True,
+)
+def unsafe_flow_crash_retry(seed: int) -> ScenarioResult:
+    from repro.baselines.unsafe import UnsafeRuntime
+    return _flow_crash_retry(seed, UnsafeRuntime)
+
+
+# ----------------------------------------------------------------------
+# BokiQueue under link chaos
+# ----------------------------------------------------------------------
+@_scenario(
+    "queue-link-chaos",
+    "Drop, duplicate, and delay metalog broadcasts between the primary "
+    "sequencer and its subscribers for the whole run while producing and "
+    "consuming a 2-shard queue (with a mid-run consumer replacement); "
+    "delivery must be no-loss and no-duplicate.",
+    fast=True,
+)
+def queue_link_chaos(seed: int) -> ScenarioResult:
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
+        seed=seed,
+    )
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    engine = cluster.engines["func-0"]
+    queue = BokiQueue(cluster.logbook(1, engine=engine), "chaos-q", num_shards=2)
+    queue.history = history
+    primary = cluster.term.assignment(0).primary
+    subscribers = sorted(
+        list(cluster.engines) + [s.name for s in cluster.storage_nodes]
+    )
+    plan = FaultPlan()
+    for sub in subscribers:
+        plan.link_fault(0.2, primary, sub, drop=0.10, dup=0.20, delay=0.5e-3,
+                        symmetric=False)
+    injector = FaultInjector(env, cluster.net, plan)
+    injector.start()
+
+    total = 40
+    produced = []
+
+    def producer_proc():
+        producer = queue.producer()
+        for i in range(total):
+            value = f"msg-{i:04d}"
+            yield from producer.push(value)
+            produced.append(value)
+            yield env.timeout(0.02)
+
+    got: Dict[int, int] = {0: 0, 1: 0}
+
+    def consumer_proc(shard: int, rounds: int):
+        consumer = queue.consumer(shard)
+        for _ in range(rounds):
+            value = yield from consumer.pop_wait(poll_interval=0.01, max_polls=50)
+            if value is None:
+                return
+            got[shard] += 1
+
+    # Phase 1: pop roughly half while faults are active; consumer 0 is
+    # then REPLACED by a fresh instance (cold start: rebuilds its shard
+    # view from the log and aux caches).
+    phase1 = [
+        env.process(producer_proc(), name="chaos-producer"),
+        env.process(consumer_proc(0, 10), name="chaos-consumer-0"),
+        env.process(consumer_proc(1, 10), name="chaos-consumer-1"),
+    ]
+    _drive_all(cluster, phase1, limit=300.0)
+
+    def drain_proc(shard: int):
+        consumer = queue.consumer(shard)  # fresh: no local view
+        while True:
+            value = yield from consumer.pop()
+            if value is None:
+                return
+            got[shard] += 1
+
+    phase2 = [env.process(drain_proc(s), name=f"chaos-drain-{s}") for s in (0, 1)]
+    _drive_all(cluster, phase2, limit=300.0)
+
+    checks = [
+        check_queue_delivery(history, drained=True),
+        check_metalog(cluster),
+        _sanity([
+            (len(injector.timeline) == len(subscribers),
+             "not every link fault was installed"),
+            (len(produced) == total, "producer did not finish"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["pushed"] = len(produced)
+    stats["popped"] = got[0] + got[1]
+    return ScenarioResult(checks, injector.timeline, stats)
+
+
+def fast_scenarios() -> List[str]:
+    return sorted(name for name, s in SCENARIOS.items() if s.fast)
+
+
+def all_scenarios() -> List[str]:
+    return sorted(SCENARIOS)

@@ -37,6 +37,11 @@ from repro.sim.node import Node
 #: How long an entry may stall on missing metadata before we fetch it.
 STALL_FETCH_DELAY = 2e-3
 MAINTENANCE_INTERVAL = 1e-3
+#: How long an unordered append may wait with no subscription progress
+#: before we suspect the *latest* metalog broadcast was lost (a tail drop
+#: leaves no buffered entry behind to reveal the gap) and poll the
+#: sequencers directly. Well above normal ordering latency (~1-2 ms).
+TAIL_FETCH_DELAY = 10e-3
 
 
 class AppendAborted(Exception):
@@ -59,6 +64,8 @@ class _TermLogState:
         self.final_len: Optional[int] = None
         self.sealed = False
         self.stalled_since: Optional[float] = None
+        #: Virtual time the subscription last advanced (tail-drop watchdog).
+        self.last_advance = 0.0
 
 
 class LogBookEngine:
@@ -180,6 +187,7 @@ class LogBookEngine:
         state = self._states.get(key)
         if state is None:
             state = self._states[key] = _TermLogState()
+            state.last_advance = self.env.now
         return state
 
     # ------------------------------------------------------------------
@@ -744,7 +752,14 @@ class LogBookEngine:
             self._apply_entry(term, log_id, state, entry, delta)
             state.applied += 1
             advanced = True
+        if state.buffer and state.applied not in state.buffer:
+            # Later entries buffered but the next one missing: a
+            # metalog.entry broadcast was lost. Mark stalled so
+            # maintenance fetches the gap from the sequencers.
+            if state.stalled_since is None:
+                state.stalled_since = self.env.now
         if advanced:
+            state.last_advance = self.env.now
             current = self.index_version.get(log_id, MetalogPosition.zero())
             candidate = MetalogPosition(term, state.applied)
             if candidate > current:
@@ -814,6 +829,26 @@ class LogBookEngine:
                 continue
         return []
 
+    def _recover(
+        self, term: int, log_id: int, state: _TermLogState, force_fetch: bool = False
+    ) -> Generator:
+        """Un-stall a subscription: fill metalog-entry gaps from the term's
+        sequencers (lost ``metalog.entry`` broadcasts), then fetch any
+        missing record metadata from storage. ``force_fetch`` polls the
+        sequencers even with an empty buffer — the tail-drop case, where
+        the lost broadcast was the newest entry and nothing after it has
+        arrived to reveal the gap."""
+        if force_fetch or (state.buffer and state.applied not in state.buffer):
+            term_config = self.term_history.get(term) or self.term_config
+            sequencers: List[str] = []
+            if term_config is not None and term_config.term_id == term and log_id in term_config.logs:
+                asg = term_config.assignment(log_id)
+                sequencers = [asg.primary] + [s for s in asg.sequencers if s != asg.primary]
+            entries = yield from self._fetch_entries(term, log_id, state.applied, sequencers)
+            for entry in entries:
+                state.buffer.setdefault(entry.index, entry)
+        yield from self._drain_with_meta_fetch(term, log_id, state)
+
     def _drain_with_meta_fetch(self, term: int, log_id: int, state: _TermLogState) -> Generator:
         """Drain, fetching any missing record metadata from storage."""
         self._drain(term, log_id, state)
@@ -856,13 +891,23 @@ class LogBookEngine:
             while True:
                 yield self.env.timeout(MAINTENANCE_INTERVAL)
                 for (term, log_id), state in list(self._states.items()):
-                    if (
+                    stalled = (
                         state.stalled_since is not None
                         and self.env.now - state.stalled_since > STALL_FETCH_DELAY
-                    ):
+                    )
+                    # Tail drop: appends wait for ordering, the subscription
+                    # has not advanced, and there is no buffered entry to
+                    # reveal a gap. Poll the sequencers for the lost tail.
+                    tail_lost = (
+                        bool(state.pending)
+                        and not state.sealed
+                        and self.env.now - state.last_advance > TAIL_FETCH_DELAY
+                    )
+                    if stalled or tail_lost:
                         state.stalled_since = self.env.now
+                        state.last_advance = self.env.now  # back off the watchdog
                         self.node.spawn(
-                            self._drain_with_meta_fetch(term, log_id, state),
+                            self._recover(term, log_id, state, force_fetch=tail_lost),
                             name=f"{self.name}:meta-fetch",
                         )
         except Interrupt:

@@ -24,7 +24,7 @@ from repro.core.config import BokiConfig, TermConfig
 from repro.core.metalog import MetalogEntry
 from repro.core.ordering import delta_set
 from repro.obs.recorder import DISABLED
-from repro.core.types import pack_seqnum
+from repro.core.types import pack_seqnum, seqnum_log_id, seqnum_term
 from repro.sim.kernel import Environment, Interrupt
 from repro.sim.network import Network
 from repro.sim.node import Node
@@ -51,6 +51,7 @@ class _LogState:
         self.prev_progress: Dict[str, int] = {}
         self.buffer: Dict[int, MetalogEntry] = {}
         self.final_len: Optional[int] = None
+        self.recovering = False  # a gap-fetch process is in flight
 
 
 class StorageNode:
@@ -174,6 +175,13 @@ class StorageNode:
             yield self.env.timeout(self.config.media_read_latency)
         record = self._by_seqnum.get(payload["seqnum"])
         if record is None:
+            # The reader's engine saw this seqnum ordered, so the metalog
+            # entry assigning it exists — we just haven't applied it (the
+            # broadcast was lost or is still in flight). Catch up from the
+            # sequencers inline and retry the lookup.
+            yield from self._catchup_for(payload["seqnum"])
+            record = self._by_seqnum.get(payload["seqnum"])
+        if record is None:
             raise KeyError(f"seqnum {payload['seqnum']:#x} not on {self.name}")
         reply = dict(record)
         if self.config.aux_backup:
@@ -201,6 +209,46 @@ class StorageNode:
         entry: MetalogEntry = payload["entry"]
         state.buffer[entry.index] = entry
         self._drain(term, log_id, state)
+        if state.buffer and state.applied not in state.buffer and not state.recovering:
+            # A metalog.entry broadcast was lost (later entries buffered,
+            # next one missing): fetch the gap from the sequencers after a
+            # grace period, in case the broadcast is merely delayed.
+            state.recovering = True
+            self.node.spawn(
+                self._recover_gap(term, log_id, state), name=f"{self.name}:gap-fetch"
+            )
+
+    def _catchup_for(self, seqnum: int) -> Generator:
+        """Read-triggered metalog catch-up: fetch entries we have not yet
+        applied for the seqnum's (term, log) from its sequencers."""
+        term, log_id = seqnum_term(seqnum), seqnum_log_id(seqnum)
+        term_config = self.term_config
+        if term_config is None or term_config.term_id != term or log_id not in term_config.logs:
+            return
+        state = self._log_state(term, log_id)
+        asg = term_config.assignment(log_id)
+        sequencers = [asg.primary] + [s for s in asg.sequencers if s != asg.primary]
+        entries = yield from self._fetch_entries(term, log_id, state.applied, sequencers)
+        for entry in entries:
+            state.buffer.setdefault(entry.index, entry)
+        self._drain(term, log_id, state)
+
+    def _recover_gap(self, term: int, log_id: int, state: _LogState) -> Generator:
+        try:
+            yield self.env.timeout(self.config.progress_interval)
+            if not state.buffer or state.applied in state.buffer:
+                return
+            term_config = self.term_config
+            if term_config is None or term_config.term_id != term or log_id not in term_config.logs:
+                return
+            asg = term_config.assignment(log_id)
+            sequencers = [asg.primary] + [s for s in asg.sequencers if s != asg.primary]
+            entries = yield from self._fetch_entries(term, log_id, state.applied, sequencers)
+            for entry in entries:
+                state.buffer.setdefault(entry.index, entry)
+            self._drain(term, log_id, state)
+        finally:
+            state.recovering = False
 
     def _drain(self, term: int, log_id: int, state: _LogState) -> None:
         while state.applied in state.buffer:

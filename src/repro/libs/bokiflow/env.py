@@ -78,6 +78,7 @@ class WorkflowEnv:
         """Exactly-once write (Figure 6a)."""
         self._pre_step()
         tag = step_tag(self.workflow_id, self.step)
+        effect_id = (self.workflow_id, self.step)
         yield from self.book.append(
             {"op": "write", "table": table, "key": key, "value": value}, tags=[tag]
         )
@@ -85,7 +86,8 @@ class WorkflowEnv:
         # Honor the first record for this step (test-and-append): its value
         # is what this step writes, now and on every re-execution.
         yield from self._idempotent_db_write(
-            record.data["table"], record.data["key"], record.data["value"], record.seqnum
+            record.data["table"], record.data["key"], record.data["value"], record.seqnum,
+            effect_id=effect_id,
         )
         self.step += 1
         return record.seqnum
@@ -111,18 +113,22 @@ class WorkflowEnv:
         record = yield from self.book.read_next(tag=tag, min_seqnum=0)
         if record.data["outcome"]:
             yield from self._idempotent_db_write(
-                record.data["table"], record.data["key"], record.data["value"], record.seqnum
+                record.data["table"], record.data["key"], record.data["value"], record.seqnum,
+                effect_id=(self.workflow_id, self.step),
             )
         self.step += 1
         return record.data["outcome"]
 
-    def _idempotent_db_write(self, table: str, key: Any, value: Any, seqnum: int) -> Generator:
+    def _idempotent_db_write(
+        self, table: str, key: Any, value: Any, seqnum: int, effect_id: Any = None
+    ) -> Generator:
         try:
             yield from self.db.update(
                 table,
                 key,
                 set_attrs={"Value": value, "Version": seqnum},
                 condition=("attr_lt_or_absent", "Version", seqnum),
+                effect_id=effect_id,
             )
         except ConditionFailedError:
             pass  # already applied by a previous execution

@@ -63,6 +63,10 @@ class BokiQueue:
         self.book = book
         self.name = name
         self.num_shards = num_shards
+        #: Optional repro.chaos operation-history recorder (duck-typed);
+        #: producers/consumers record push/pop calls through it for
+        #: offline no-loss / no-duplicate delivery checking.
+        self.history = None
 
     def producer(self, max_backlog: Optional[int] = None) -> "QueueProducer":
         return QueueProducer(self, max_backlog=max_backlog)
@@ -153,10 +157,21 @@ class QueueProducer:
         shard = count % self.queue.num_shards
         if self.max_backlog is not None and count % self.BACKLOG_CHECK_EVERY == 0:
             yield from self._wait_for_room(shard)
-        seqnum = yield from self.queue.book.append(
-            {"kind": "push", "value": value},
-            tags=[shard_tag(self.queue.name, shard)],
-        )
+        history = self.queue.history
+        op = None
+        if history is not None:
+            op = history.invoke("producer", "queue.push", self.queue.name, value=value)
+        try:
+            seqnum = yield from self.queue.book.append(
+                {"kind": "push", "value": value},
+                tags=[shard_tag(self.queue.name, shard)],
+            )
+        except BaseException as exc:
+            if op is not None:
+                history.fail(op, error=repr(exc))
+            raise
+        if op is not None:
+            history.ok(op, result=seqnum)
         return seqnum
 
     def _wait_for_room(self, shard: int) -> Generator:
@@ -191,14 +206,25 @@ class QueueConsumer:
     def pop(self) -> Generator:
         """Append a pop record and replay to learn its outcome. Returns the
         value, or None if the shard was empty at the pop's position."""
-        seqnum = yield from self.queue.book.append(
-            {"kind": "pop", "consumer": self.shard},
-            tags=[shard_tag(self.queue.name, self.shard)],
-        )
-        state, result = yield from self.queue.replay_shard(
-            self.shard, seqnum, hint=self._local_view
-        )
+        history = self.queue.history
+        op = None
+        if history is not None:
+            op = history.invoke(f"consumer-{self.shard}", "queue.pop", self.queue.name)
+        try:
+            seqnum = yield from self.queue.book.append(
+                {"kind": "pop", "consumer": self.shard},
+                tags=[shard_tag(self.queue.name, self.shard)],
+            )
+            state, result = yield from self.queue.replay_shard(
+                self.shard, seqnum, hint=self._local_view
+            )
+        except BaseException as exc:
+            if op is not None:
+                history.fail(op, error=repr(exc))
+            raise
         self._local_view = (seqnum, state)
+        if op is not None:
+            history.ok(op, result=result)
         return result
 
     def pop_wait(self, poll_interval: float = 0.002, max_polls: int = 500) -> Generator:

@@ -87,6 +87,12 @@ class BokiStore:
         self.aux_get = self._aux_from_record
         self.aux_put = self._aux_to_book
         self.replayed_records = 0
+        #: Optional repro.chaos operation-history recorder (duck-typed:
+        #: needs invoke/ok/fail). When set, client-visible put/get calls
+        #: are recorded for offline linearizability checking.
+        self.history = None
+        self.client_name = "store"
+        self._hist_suppress = 0
 
     # ------------------------------------------------------------------
     # Aux-data plumbing (view caching, §5.4)
@@ -120,7 +126,11 @@ class BokiStore:
         in between our read and our append: Boki trusts applications to
         provide *consistent* aux data (§3), and a view computed from a
         stale base would poison every future read."""
-        view = yield from self.get_object(name)
+        self._hist_suppress += 1
+        try:
+            view = yield from self.get_object(name)
+        finally:
+            self._hist_suppress -= 1
         new_state = apply_ops(view.as_dict() if view.exists else None, ops)
         seqnum = yield from self.book.append(
             {"kind": "write", "obj": name, "ops": ops},
@@ -140,11 +150,21 @@ class BokiStore:
         """Blind full-object write (the KV-style put of §7.3's Cloudburst
         comparison): a ``replace`` op needs no read-before-write because
         the writer knows the resulting state for the aux view."""
-        seqnum = yield from self.book.append(
-            {"kind": "write", "obj": name, "ops": [{"op": "replace", "value": value}]},
-            tags=[object_tag(name), WRITE_STREAM_TAG],
-        )
-        yield from self.aux_put(_FakeRecord(seqnum), {"view": {name: copy.deepcopy(value)}})
+        op = None
+        if self.history is not None and not self._hist_suppress:
+            op = self.history.invoke(self.client_name, "store.put", name, value=value)
+        try:
+            seqnum = yield from self.book.append(
+                {"kind": "write", "obj": name, "ops": [{"op": "replace", "value": value}]},
+                tags=[object_tag(name), WRITE_STREAM_TAG],
+            )
+            yield from self.aux_put(_FakeRecord(seqnum), {"view": {name: copy.deepcopy(value)}})
+        except BaseException as exc:
+            if op is not None:
+                self.history.fail(op, error=repr(exc))
+            raise
+        if op is not None:
+            self.history.ok(op, result=seqnum)
         return seqnum
 
     def delete_object(self, name: str) -> Generator:
@@ -162,6 +182,18 @@ class BokiStore:
     # ------------------------------------------------------------------
     def get_object(self, name: str, at: int = MAX_SEQNUM) -> Generator:
         """Re-construct the object's state as of seqnum ``at``."""
+        if self.history is not None and not self._hist_suppress and at == MAX_SEQNUM:
+            op = self.history.invoke(self.client_name, "store.get", name)
+            try:
+                view = yield from self._get_object_impl(name, at)
+            except BaseException as exc:
+                self.history.fail(op, error=repr(exc))
+                raise
+            self.history.ok(op, result=view.as_dict())
+            return view
+        return (yield from self._get_object_impl(name, at))
+
+    def _get_object_impl(self, name: str, at: int = MAX_SEQNUM) -> Generator:
         tag = object_tag(name)
         tail = yield from self.book.read_prev(tag=tag, max_seqnum=at)
         if tail is None:

@@ -57,6 +57,21 @@ class Message:
     method: str
     payload: Any = None
     trace_ctx: Any = None
+    #: True for a chaos-injected duplicate (never re-duplicated).
+    dup: bool = False
+
+
+@dataclass
+class LinkFault:
+    """Per-directed-link fault probabilities (repro.chaos).
+
+    ``drop`` and ``dup`` are per-message probabilities in [0, 1]; ``delay``
+    is a fixed extra one-way latency in seconds.
+    """
+
+    drop: float = 0.0
+    dup: float = 0.0
+    delay: float = 0.0
 
 
 class Network:
@@ -78,6 +93,17 @@ class Network:
         self.rpc_timeout = rpc_timeout
         self.nodes: Dict[str, Node] = {}
         self._partitions: Set[FrozenSet[str]] = set()
+        self._isolated: Set[str] = set()
+        #: Directed (src, dst) -> LinkFault; empty unless chaos faults are
+        #: installed, so the common path costs one truthiness check.
+        self._link_faults: Dict[tuple, LinkFault] = {}
+        #: Dedicated RNG for fault draws, created lazily on the first
+        #: installed fault so fault-free simulations consume exactly the
+        #: same random streams as before.
+        self._chaos_rng = None
+        #: Pending fail-fast events for in-flight RPCs, keyed by
+        #: destination node name (resolved when that node crashes).
+        self._inflight: Dict[str, list] = {}
         self._msg_ids = itertools.count(1)
         self.messages_sent = 0
         self.trace_hook: Optional[Callable[[Message], None]] = None
@@ -92,6 +118,7 @@ class Network:
         if node.name in self.nodes:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        node.crash_hooks.append(self._on_node_crash)
         return node
 
     def node(self, name: str) -> Node:
@@ -104,11 +131,94 @@ class Network:
     def heal(self, a: str, b: str) -> None:
         self._partitions.discard(frozenset((a, b)))
 
+    def isolate(self, name: str) -> None:
+        """Cut every link to/from ``name`` (the node itself stays up)."""
+        self._isolated.add(name)
+
+    def unisolate(self, name: str) -> None:
+        self._isolated.discard(name)
+
+    def partition_groups(self, groups) -> None:
+        """Partition the given groups of node names from each other.
+
+        Nodes within a group remain mutually connected; nodes not listed in
+        any group keep all their links. Builds on pairwise
+        :meth:`partition`, so :meth:`heal_all` undoes it.
+        """
+        groups = [list(group) for group in groups]
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1:]:
+                for a in group_a:
+                    for b in group_b:
+                        self.partition(a, b)
+
     def heal_all(self) -> None:
         self._partitions.clear()
+        self._isolated.clear()
 
     def reachable(self, a: str, b: str) -> bool:
+        if self._isolated and (a in self._isolated or b in self._isolated):
+            return False
         return frozenset((a, b)) not in self._partitions
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.chaos)
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self,
+        a: str,
+        b: str,
+        drop: float = 0.0,
+        dup: float = 0.0,
+        delay: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Install per-message drop/dup/extra-delay faults on a link.
+
+        Faults are directed (``a`` → ``b``); with ``symmetric=True`` the
+        reverse direction gets an identical, independently-drawn fault.
+        Duplication applies only to one-way sends (RPC request/reply legs
+        honour drop and delay; duplicating a request would re-execute its
+        handler, which is a different fault than the network can inject).
+        """
+        if self._chaos_rng is None:
+            self._chaos_rng = self.streams.stream("chaos-net")
+        self._link_faults[(a, b)] = LinkFault(drop=drop, dup=dup, delay=delay)
+        if symmetric:
+            self._link_faults[(b, a)] = LinkFault(drop=drop, dup=dup, delay=delay)
+
+    def clear_link_fault(self, a: str, b: str, symmetric: bool = True) -> None:
+        self._link_faults.pop((a, b), None)
+        if symmetric:
+            self._link_faults.pop((b, a), None)
+
+    def clear_link_faults(self) -> None:
+        self._link_faults.clear()
+
+    def _hop_fault(self, src_name: str, dst_name: str, allow_dup: bool):
+        """Decide one directed hop's fate: (dropped, duplicated, extra_delay).
+
+        Draws from the chaos RNG only when a fault is installed on this
+        directed link, in a fixed order (drop, then dup), so fault-free
+        links never consume randomness.
+        """
+        fault = self._link_faults.get((src_name, dst_name))
+        if fault is None:
+            return False, False, 0.0
+        rng = self._chaos_rng
+        dropped = fault.drop > 0.0 and rng.random() < fault.drop
+        duplicated = allow_dup and fault.dup > 0.0 and rng.random() < fault.dup
+        return dropped, duplicated, fault.delay
+
+    def _on_node_crash(self, node: Node) -> None:
+        """Fail-fast: resolve in-flight RPC waits targeting a crashed node
+        so callers see :class:`RpcTimeout` now instead of at the deadline."""
+        waiters = self._inflight.pop(node.name, None)
+        if not waiters:
+            return
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(None)
 
     def one_way_delay(self) -> float:
         """One hop's latency: RTT/2 plus Gaussian jitter, floored at 1 us."""
@@ -138,8 +248,32 @@ class Network:
         self.env.process(self._deliver_oneway(src_node, dst_node, msg), name=f"send:{method}")
 
     def _deliver_oneway(self, src: Node, dst: Node, msg: Message) -> Generator:
-        yield self.env.timeout(self.one_way_delay())
         obs = self.obs
+        extra_delay = 0.0
+        if self._link_faults:
+            dropped, duplicated, extra_delay = self._hop_fault(
+                src.name, dst.name, allow_dup=not msg.dup
+            )
+            if duplicated:
+                dup_msg = Message(
+                    next(self._msg_ids), msg.src, msg.dst, msg.method,
+                    msg.payload, msg.trace_ctx, dup=True,
+                )
+                self.messages_sent += 1
+                self.env.process(
+                    self._deliver_oneway(src, dst, dup_msg),
+                    name=f"send:{msg.method}:dup",
+                )
+            if dropped:
+                if obs.enabled:
+                    obs.tracer.instant(
+                        f"drop:{msg.method}", parent=msg.trace_ctx, node=dst.name,
+                        kind="net", status=STATUS_DROPPED,
+                        attrs={"src": msg.src, "reason": "chaos"},
+                    )
+                    obs.metrics.counter("net.drops").incr()
+                return
+        yield self.env.timeout(self.one_way_delay() + extra_delay + dst.slowdown)
         if not dst.alive or not self.reachable(src.name, dst.name):
             if obs.enabled:
                 obs.tracer.instant(
@@ -229,12 +363,26 @@ class Network:
         reply = Event(self.env)
         self.env.process(self._serve(src, dst, msg, reply), name=f"serve:{method}")
         timer = self.env.timeout(timeout)
+        # Fail fast if the destination crashes while this call is in flight
+        # (a node that is already down when the call starts still waits out
+        # the full timeout, as a real client would).
+        down = Event(self.env)
+        self._inflight.setdefault(dst.name, []).append(down)
         try:
-            yield AnyOf(self.env, [reply, timer])
+            yield AnyOf(self.env, [reply, timer, down])
         except BaseException as exc:  # interrupted caller, node crash, ...
             if span is not None:
                 span.finish(STATUS_ERROR, error=repr(exc))
             raise
+        finally:
+            waiters = self._inflight.get(dst.name)
+            if waiters is not None:
+                try:
+                    waiters.remove(down)
+                except ValueError:
+                    pass
+                if not waiters:
+                    self._inflight.pop(dst.name, None)
         if not reply.triggered:
             if span is not None:
                 span.finish(STATUS_TIMEOUT, timeout=timeout)
@@ -250,8 +398,20 @@ class Network:
         return value
 
     def _serve(self, src: Node, dst: Node, msg: Message, reply: Event) -> Generator:
-        yield self.env.timeout(self.one_way_delay())
         obs = self.obs
+        extra_delay = 0.0
+        if self._link_faults:
+            dropped, _, extra_delay = self._hop_fault(src.name, dst.name, allow_dup=False)
+            if dropped:
+                if obs.enabled:
+                    obs.tracer.instant(
+                        f"drop:{msg.method}", parent=msg.trace_ctx, node=dst.name,
+                        kind="net", status=STATUS_DROPPED,
+                        attrs={"src": msg.src, "reason": "chaos"},
+                    )
+                    obs.metrics.counter("net.drops").incr()
+                return
+        yield self.env.timeout(self.one_way_delay() + extra_delay + dst.slowdown)
         if not dst.alive or not self.reachable(src.name, dst.name):
             if obs.enabled:
                 obs.tracer.instant(
@@ -283,7 +443,15 @@ class Network:
         finally:
             if obs.enabled:
                 obs.tracer.set_process_context(prev_ctx)
-        yield self.env.timeout(self.one_way_delay())
+        reply_delay = self.one_way_delay()
+        if self._link_faults:
+            dropped, _, extra_delay = self._hop_fault(dst.name, src.name, allow_dup=False)
+            if dropped:
+                if obs.enabled:
+                    obs.metrics.counter("net.drops").incr()
+                return
+            reply_delay += extra_delay
+        yield self.env.timeout(reply_delay)
         # The replying node must still be up, and the link back intact.
         if not dst.alive or not src.alive or not self.reachable(src.name, dst.name):
             return

@@ -40,6 +40,15 @@ class Node:
         self.handlers: Dict[str, Callable] = {}
         self._processes: List[Process] = []
         self.crash_count = 0
+        #: Callbacks run (in registration order) when the node crashes /
+        #: restarts. The network uses the crash hooks to fail in-flight
+        #: RPCs fast; components use restart hooks to re-register their
+        #: background processes after recovery (repro.chaos).
+        self.crash_hooks: List[Callable[["Node"], None]] = []
+        self.restart_hooks: List[Callable[["Node"], None]] = []
+        #: Extra seconds of delay added to every message handled by this
+        #: node — the chaos subsystem's slow-node (degraded CPU) fault.
+        self.slowdown = 0.0
 
     def handle(self, method: str, handler: Callable) -> None:
         """Register an RPC handler. The handler receives the payload and may
@@ -73,11 +82,18 @@ class Node:
             if proc.is_alive:
                 proc.interrupt(NodeDownError(self.name))
         self._processes = []
+        for hook in list(self.crash_hooks):
+            hook(self)
 
     def restart(self) -> None:
         """Bring the node back (with empty volatile state — callers are
-        responsible for re-registering processes)."""
+        responsible for re-registering processes, usually via restart
+        hooks)."""
+        if self.alive:
+            return
         self.alive = True
+        for hook in list(self.restart_hooks):
+            hook(self)
 
     def check_alive(self) -> None:
         if not self.alive:

@@ -1,0 +1,127 @@
+"""End-to-end scenario tests: fast scenarios pass, the unsafe baseline is
+flagged, and verdict artifacts are byte-identical across reruns."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos.runner import (
+    SCHEMA,
+    load_verdict,
+    run_scenario,
+    validate_verdict,
+    verdict_to_json,
+    write_verdict,
+)
+from repro.chaos.scenarios import SCENARIOS, all_scenarios, fast_scenarios
+
+pytestmark = pytest.mark.chaos
+
+
+class TestCatalog:
+    def test_catalog_has_fast_and_violation_scenarios(self):
+        assert len(SCENARIOS) >= 5
+        assert fast_scenarios()
+        assert any(s.expect_violations for s in SCENARIOS.values())
+        assert all_scenarios() == sorted(SCENARIOS)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            run_scenario("no-such-scenario", seed=1)
+
+
+class TestFastScenarios:
+    @pytest.mark.parametrize("name", fast_scenarios())
+    def test_fast_scenario_passes(self, name):
+        doc = run_scenario(name, seed=1)
+        validate_verdict(doc)
+        assert doc["passed"], doc["checks"]
+        assert doc["schema"] == SCHEMA
+        assert doc["timeline"], "scenario applied no faults"
+
+    def test_unsafe_baseline_is_flagged(self):
+        doc = run_scenario("unsafe-flow-crash-retry", seed=1)
+        assert doc["expect_violations"]
+        assert doc["violations"] > 0
+        assert doc["passed"]
+        dup = [v for c in doc["checks"] for v in c["violations"]
+               if "duplicate" in v]
+        assert dup, "unsafe baseline must show duplicated effects"
+
+    def test_boki_flow_applies_effects_exactly_once(self):
+        doc = run_scenario("flow-crash-retry", seed=1)
+        assert doc["passed"]
+        assert doc["stats"]["counter_result"] == 1.0
+        assert doc["stats"]["effects_applied"] == 3
+
+
+class TestCrashRecovery:
+    def test_primary_crash_scenario_reconfigures(self):
+        doc = run_scenario("crash-primary-sequencer", seed=1)
+        assert doc["passed"], doc["checks"]
+        assert doc["stats"]["final_term"] > doc["stats"]["initial_term"]
+        assert doc["stats"]["ops_ok_after_crash"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_verdicts(self, tmp_path):
+        """The whole point of seed-deterministic chaos: rerunning a
+        scenario with the same seed reproduces the fault timeline and the
+        verdict file byte for byte."""
+        paths = []
+        for run in ("a", "b"):
+            doc = run_scenario("queue-link-chaos", seed=3)
+            paths.append(write_verdict(doc, directory=str(tmp_path / run)))
+        with open(paths[0], "rb") as fa, open(paths[1], "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_different_seeds_yield_different_runs(self):
+        a = run_scenario("queue-link-chaos", seed=1)
+        b = run_scenario("queue-link-chaos", seed=2)
+        assert a["stats"]["messages_sent"] != b["stats"]["messages_sent"]
+
+    def test_verdict_json_is_canonical(self):
+        doc = run_scenario("flow-crash-retry", seed=1)
+        text = verdict_to_json(doc)
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(verdict_to_json(doc))
+        # Round-trips through the loader with validation.
+        assert sorted(json.loads(text)) == sorted(doc)
+
+
+class TestVerdictIO:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        doc = run_scenario("flow-crash-retry", seed=2)
+        path = write_verdict(doc, directory=str(tmp_path))
+        assert os.path.basename(path) == "chaos_flow-crash-retry_seed2.json"
+        assert load_verdict(path) == doc
+
+    def test_env_var_overrides_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "env-dir"))
+        doc = run_scenario("flow-crash-retry", seed=4)
+        path = write_verdict(doc)
+        assert str(tmp_path / "env-dir") in path
+
+    def test_validate_rejects_malformed_docs(self):
+        with pytest.raises(ValueError):
+            validate_verdict({"schema": "wrong"})
+        doc = run_scenario("flow-crash-retry", seed=1)
+        broken = dict(doc)
+        broken.pop("checks")
+        with pytest.raises(ValueError):
+            validate_verdict(broken)
+
+
+class TestCli:
+    def test_cli_list_and_run(self, tmp_path, capsys):
+        from repro.chaos.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "flow-crash-retry" in out
+        assert main(["run", "flow-crash-retry", "--seed", "1",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert (tmp_path / "chaos_flow-crash-retry_seed1.json").exists()

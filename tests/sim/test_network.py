@@ -120,7 +120,9 @@ def test_partition_heal_restores_traffic():
     assert results == ["ok"]
 
 
-def test_node_crash_mid_handler_drops_reply():
+def test_node_crash_mid_handler_fails_fast():
+    # A crash while the call is in flight resolves the waiter immediately
+    # (fail-fast), not at the full RPC deadline.
     env, net, a, b = make_net(rpc_timeout=0.3)
 
     def slow(payload):
@@ -143,7 +145,58 @@ def test_node_crash_mid_handler_drops_reply():
     env.process(caller(env))
     env.process(killer(env))
     env.run()
+    assert caught == [pytest.approx(0.01)]
+
+
+def test_rpc_to_already_dead_node_waits_full_timeout():
+    # Fail-fast applies only to crashes *during* the call: a destination
+    # already down when the call starts behaves like a silent drop and the
+    # caller waits out its configured deadline.
+    env, net, a, b = make_net(rpc_timeout=0.3)
+    b.handle("echo", lambda p: p)
+    b.crash()
+    caught = []
+
+    def caller(env):
+        try:
+            yield net.rpc(a, b, "echo")
+        except RpcTimeout:
+            caught.append(env.now)
+
+    env.process(caller(env))
+    env.run()
     assert caught == [pytest.approx(0.3)]
+
+
+def test_crash_fail_fast_many_waiters_no_hang():
+    # Regression for the drive-limit hang: many callers blocked on a long
+    # deadline all resolve at crash time instead of serialising on the
+    # global run limit.
+    env, net, a, b = make_net(rpc_timeout=100.0)
+
+    def never(payload):
+        yield env.timeout(1e9)
+
+    b.handle("never", never)
+    resolved = []
+
+    def caller(env, i):
+        try:
+            yield net.rpc(a, b, "never", i)
+        except RpcTimeout:
+            resolved.append((i, env.now))
+
+    for i in range(5):
+        env.process(caller(env, i))
+
+    def killer(env):
+        yield env.timeout(0.5)
+        b.crash()
+
+    env.process(killer(env))
+    env.run(until=2.0)
+    assert sorted(i for i, _ in resolved) == [0, 1, 2, 3, 4]
+    assert all(t == pytest.approx(0.5) for _, t in resolved)
 
 
 def test_one_way_send_runs_handler():
