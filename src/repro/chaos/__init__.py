@@ -6,7 +6,8 @@ through an injector process on the DES kernel; client operations are
 recorded in a global :class:`History`; offline checkers then verify the
 paper's guarantees — BokiStore linearizability, BokiFlow exactly-once
 effects, BokiQueue no-loss/no-duplicate delivery, and metalog
-monotonicity/seal consistency.
+monotonicity/seal consistency — plus liveness: availability during the
+fault window and recovery time (RTO) against per-scenario SLOs.
 
 Run scenarios with ``python -m repro.chaos run <scenario> --seed N``.
 """
@@ -20,6 +21,7 @@ from repro.chaos.checkers import (
     check_queue_delivery,
     check_store_linearizability,
 )
+from repro.chaos.liveness import check_recovery_slo, recovery_metrics
 from repro.chaos.runner import run_scenario, write_verdict
 
 __all__ = [
@@ -32,7 +34,9 @@ __all__ = [
     "check_exactly_once",
     "check_metalog",
     "check_queue_delivery",
+    "check_recovery_slo",
     "check_store_linearizability",
+    "recovery_metrics",
     "run_scenario",
     "write_verdict",
 ]

@@ -1,0 +1,85 @@
+"""Liveness metrics: availability and recovery time from histories.
+
+The safety checkers (``repro.chaos.checkers``) prove nothing bad
+happened; this module measures whether anything *good* kept happening.
+Two Jepsen-style liveness figures are computed from a recorded
+:class:`~repro.chaos.history.History` and the fault injection time:
+
+- **availability** — goodput during the fault window: the fraction of
+  client operations invoked at or after the fault that completed ``ok``.
+  A cluster that recovers by retrying through reconfiguration keeps this
+  near 1.0; a cluster without recovery serves errors for the whole
+  failure-detection + reconfiguration window.
+- **RTO** (recovery time objective) — virtual time from fault injection
+  to the first *post-fault* successful completion; None when nothing
+  ever succeeded after the fault (recovery failed outright).
+
+:func:`check_recovery_slo` turns the metrics into a
+:class:`~repro.chaos.checkers.CheckResult` so recovery objectives sit in
+verdicts next to the safety checkers.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Iterable, Optional
+
+from repro.chaos.checkers import CheckResult
+from repro.chaos.history import History
+
+
+def recovery_metrics(
+    history: History,
+    fault_at: float,
+    kinds: Optional[Iterable[str]] = None,
+    enabled: bool = True,
+) -> dict:
+    """Availability + RTO over the operations invoked at/after ``fault_at``.
+
+    ``kinds`` restricts the measured operations (e.g. only ``store.put``/
+    ``store.get``); ``enabled`` records whether the resilience layer was
+    on for this run (carried into the verdict so degraded baselines are
+    self-describing). The dict is JSON-serializable and deterministic.
+    """
+    kind_set = set(kinds) if kinds is not None else None
+    window = [
+        op for op in history.ops
+        if op.t_invoke >= fault_at
+        and (kind_set is None or op.kind in kind_set)
+    ]
+    ok_ops = [op for op in window if op.status == "ok"]
+    availability = round(len(ok_ops) / len(window), 6) if window else None
+    first_ok = min((op.t_return for op in ok_ops), default=inf)
+    rto = round(first_ok - fault_at, 6) if first_ok != inf else None
+    return {
+        "enabled": enabled,
+        "fault_at_s": round(fault_at, 6),
+        "window_ops": len(window),
+        "window_ok": len(ok_ops),
+        "availability": availability,
+        "rto_s": rto,
+    }
+
+
+def check_recovery_slo(
+    metrics: dict,
+    min_availability: float = 0.9,
+    max_rto: Optional[float] = None,
+) -> CheckResult:
+    """Recovery SLO as a checker: availability during the fault window
+    must reach ``min_availability`` and a post-fault success must exist
+    (finite RTO, optionally bounded by ``max_rto`` seconds)."""
+    violations = []
+    availability = metrics.get("availability")
+    rto = metrics.get("rto_s")
+    if metrics.get("window_ops", 0) == 0:
+        violations.append("no operations invoked during the fault window")
+    if availability is not None and availability < min_availability:
+        violations.append(
+            f"availability {availability} below SLO {min_availability}"
+        )
+    if rto is None:
+        violations.append("no successful operation after the fault (RTO unbounded)")
+    elif max_rto is not None and rto > max_rto:
+        violations.append(f"RTO {rto}s exceeds objective {max_rto}s")
+    return CheckResult("recovery-slo", violations, metrics.get("window_ops", 0))

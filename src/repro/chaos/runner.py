@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.chaos.scenarios import SCENARIOS, Scenario, ScenarioResult
 
-SCHEMA = "repro.chaos/1"
+SCHEMA = "repro.chaos/2"
 DEFAULT_VERDICT_DIR = "bench/chaos"
 VERDICT_DIR_ENV = "REPRO_CHAOS_DIR"
 
@@ -50,6 +50,9 @@ def run_scenario(name: str, seed: int = 0) -> Dict[str, Any]:
         "checks": checks,
         "timeline": result.timeline,
         "stats": result.stats,
+        # schema 2: liveness metrics (availability + RTO) for recovery
+        # scenarios; None for pure-safety scenarios.
+        "recovery": result.recovery,
     }
 
 
@@ -78,6 +81,10 @@ def validate_verdict(doc: Dict[str, Any]) -> None:
         problems.append("timeline missing or not a list")
     if not isinstance(doc.get("stats"), dict):
         problems.append("stats missing or not an object")
+    if "recovery" not in doc:
+        problems.append("recovery missing (schema 2)")
+    elif doc["recovery"] is not None and not isinstance(doc["recovery"], dict):
+        problems.append("recovery must be null or an object")
     if problems:
         raise ValueError("invalid verdict: " + "; ".join(problems))
 

@@ -14,7 +14,7 @@ flagged by the checkers — they prove the checkers have teeth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.dynamodb import DynamoDBService
 from repro.chaos.checkers import (
@@ -26,6 +26,7 @@ from repro.chaos.checkers import (
 )
 from repro.chaos.faults import FaultInjector, FaultPlan
 from repro.chaos.history import History
+from repro.chaos.liveness import check_recovery_slo, recovery_metrics
 from repro.core.cluster import BokiCluster
 from repro.libs.bokiqueue.queue import BokiQueue
 from repro.libs.bokistore.store import BokiStore
@@ -36,6 +37,9 @@ class ScenarioResult:
     checks: List[CheckResult]
     timeline: List[dict]
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Liveness metrics (availability + RTO) for recovery scenarios;
+    #: None for pure-safety scenarios. Serialized into schema-2 verdicts.
+    recovery: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -45,15 +49,20 @@ class Scenario:
     fn: Callable[[int], ScenarioResult]
     expect_violations: bool = False
     fast: bool = False
+    #: Part of the recovery suite (``python -m repro.chaos run recovery``):
+    #: measures availability/RTO around a fault, with or without the
+    #: resilience layer.
+    recovery: bool = False
 
 
 SCENARIOS: Dict[str, Scenario] = {}
 
 
 def _scenario(name: str, description: str, expect_violations: bool = False,
-              fast: bool = False):
+              fast: bool = False, recovery: bool = False):
     def deco(fn):
-        SCENARIOS[name] = Scenario(name, description, fn, expect_violations, fast)
+        SCENARIOS[name] = Scenario(name, description, fn, expect_violations,
+                                   fast, recovery)
         return fn
     return deco
 
@@ -470,8 +479,356 @@ def queue_link_chaos(seed: int) -> ScenarioResult:
     return ScenarioResult(checks, injector.timeline, stats)
 
 
+# ----------------------------------------------------------------------
+# Recovery scenarios: availability + RTO around faults (repro.resil)
+# ----------------------------------------------------------------------
+def _register_store_fn(cluster: BokiCluster) -> None:
+    """Deploy ``store-op``: a function doing one BokiStore put/get on the
+    LogBook co-located with its node's engine."""
+    def store_op(ctx, arg):
+        store = BokiStore(cluster.logbook_for(ctx))
+        if arg["op"] == "put":
+            yield from store.put(arg["key"], arg["value"])
+            return arg["value"]
+        view = yield from store.get_object(arg["key"])
+        return view.as_dict() if view.exists else None
+
+    cluster.register_function("store-op", store_op)
+
+
+def _gateway_store_clients(cluster: BokiCluster, history: History,
+                           num_clients: int = 3, ops_per_client: int = 24,
+                           timeout: Optional[float] = None, policy=None,
+                           book_id: int = 1):
+    """Clients invoking ``store-op`` through the gateway, recording a
+    client-side history op per invocation (the vantage point availability
+    is measured from).
+
+    Each client owns one key: retried puts are at-least-once at the log
+    level, and a late duplicate append must not land after a *newer*
+    write to the same key — single-writer keys make the client's own
+    sequential order the only order, which retries preserve. The
+    gateway's scheduler must be pinned to one node by the scenario
+    (linearizability is per-index, §4.4).
+    """
+    env = cluster.env
+    rng = cluster.streams.stream("chaos-load")
+
+    def client(i: int):
+        key = f"obj-{i}"
+        name = f"client-{i}"
+        for j in range(ops_per_client):
+            if rng.random() < 0.8:
+                value = {"writer": f"c{i}", "n": j}
+                op = history.invoke(name, "store.put", key, value)
+                arg = {"op": "put", "key": key, "value": value}
+            else:
+                value = None
+                op = history.invoke(name, "store.get", key)
+                arg = {"op": "get", "key": key}
+            try:
+                result = yield from cluster.invoke(
+                    "store-op", arg, book_id=book_id,
+                    timeout=timeout, policy=policy,
+                )
+            except Exception as exc:
+                history.fail(op, type(exc).__name__)
+            else:
+                history.ok(op, result)
+            yield env.timeout(0.015 + rng.random() * 0.015)
+
+    return [env.process(client(i), name=f"chaos-client-{i}")
+            for i in range(num_clients)]
+
+
+def _crash_primary_under_load(seed: int, resilient: bool) -> ScenarioResult:
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=4,
+        seed=seed, use_coord_sessions=True,
+    )
+    if resilient:
+        cluster.enable_resilience()
+    cluster.boot()
+    history = History(cluster.env)
+    _register_store_fn(cluster)
+    # Pin every invocation to one node: all store ops go through ONE
+    # engine/index, which is what BokiStore's linearizability claims.
+    target = cluster.function_nodes[0]
+    cluster.gateway.scheduler = lambda fn, book_id: target
+    initial_term = cluster.controller.current_term.term_id
+    primary = cluster.term.assignment(0).primary
+    crash_at = 0.4
+    plan = FaultPlan().crash(crash_at, primary)
+    injector = FaultInjector(cluster.env, cluster.net, plan)
+    injector.start()
+    # Appends stall from the crash until session expiry + reconfiguration
+    # (~2.1 s). Resilient clients retry 1 s attempts through the stall;
+    # the baseline uses a realistic 1 s client deadline and no retries,
+    # so its operations fail for the whole failure-detection window.
+    procs = _gateway_store_clients(
+        cluster, history, num_clients=3, ops_per_client=24,
+        timeout=None if resilient else 1.0,
+    )
+    _drive_all(cluster, procs, limit=300.0)
+    final_term = cluster.controller.current_term.term_id
+    metrics = recovery_metrics(history, crash_at,
+                               kinds=("store.put", "store.get"),
+                               enabled=resilient)
+    sanity = [
+        (final_term > initial_term,
+         f"no reconfiguration happened: term stayed {initial_term}"),
+        (_ok_ops_after(history, crash_at) > 0,
+         "no operation completed after the crash"),
+    ]
+    checks = [check_store_linearizability(history), check_metalog(cluster)]
+    stats = _base_stats(cluster, history)
+    if resilient:
+        checks.append(check_recovery_slo(metrics, min_availability=0.9))
+        sanity.append((cluster.resil.counters["retries"] > 0,
+                       "resilience layer never retried"))
+        for key, value in sorted(cluster.resil.snapshot().items()):
+            stats[f"resil_{key}"] = value
+    else:
+        availability = metrics["availability"]
+        sanity.append(
+            (availability is not None and availability < 0.9,
+             f"baseline availability {availability} not degraded: the fault "
+             f"window did not overlap the load"),
+        )
+    checks.append(_sanity(sanity))
+    stats["initial_term"] = initial_term
+    stats["final_term"] = final_term
+    return ScenarioResult(checks, injector.timeline, stats, recovery=metrics)
+
+
+@_scenario(
+    "crash-primary-under-load",
+    "Crash the primary sequencer under gateway-driven store load with the "
+    "resilience layer on: client retries ride through failure detection + "
+    "reconfiguration, so availability stays >= 0.9 and recovery time is "
+    "finite while linearizability and metalog consistency hold.",
+    recovery=True,
+)
+def crash_primary_under_load(seed: int) -> ScenarioResult:
+    return _crash_primary_under_load(seed, resilient=True)
+
+
+@_scenario(
+    "crash-primary-under-load-norecovery",
+    "The same primary-sequencer crash without the resilience layer "
+    "(single-attempt clients with a 1 s deadline): safety holds but "
+    "availability degrades for the whole failure-detection window — the "
+    "baseline the recovery SLO is measured against.",
+    recovery=True,
+)
+def crash_primary_under_load_norecovery(seed: int) -> ScenarioResult:
+    return _crash_primary_under_load(seed, resilient=False)
+
+
+def _coordinator_crash_midcommit(seed: int, resilient: bool) -> ScenarioResult:
+    from repro.libs.bokiflow import BokiFlowRuntime
+    from repro.libs.bokiflow.env import WorkflowCrash
+
+    cluster = BokiCluster(num_function_nodes=2, seed=seed)
+    if resilient:
+        cluster.enable_resilience()
+    db = DynamoDBService(cluster.env, cluster.net, cluster.streams)
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    runtime = BokiFlowRuntime(cluster)
+    runtime.history = history
+
+    def body(wf_env, arg):
+        yield from wf_env.write("t", f"{arg}-a", 1)   # step 0
+        yield from wf_env.write("t", f"{arg}-b", 2)   # step 1
+        yield from wf_env.write("t", f"{arg}-c", 3)   # step 2 (the commit)
+        return arg
+
+    runtime.register_workflow("wf", body)
+
+    num_clients, per_client = 2, 4
+    wf_ids = [f"wf-{c}-{j}" for c in range(num_clients) for j in range(per_client)]
+    # The coordinator (the function execution driving the workflow) of
+    # every even-indexed workflow dies right before its final commit
+    # step, after steps 0-1 already applied their effects.
+    targets = set(wf_ids[::2])
+    crashed: Dict[str, float] = {}
+    timeline: List[dict] = []
+
+    def hook(wf_env, step):
+        wf = wf_env.workflow_id
+        if step == 2 and wf in targets and wf not in crashed:
+            crashed[wf] = env.now
+            timeline.append({"t": round(env.now, 9), "action": "workflow_crash",
+                             "args": [wf, "before-step-2"]})
+            raise WorkflowCrash(f"coordinator of {wf} crashed mid-commit")
+
+    runtime.fault_hook_env = hook
+    completed: Dict[str, int] = {}
+
+    def client(c: int):
+        runtime.client_name = "flow"
+        for j in range(per_client):
+            wf_id = f"wf-{c}-{j}"
+            try:
+                result = yield from runtime.run_workflow(
+                    "wf", wf_id, book_id=1, workflow_id=wf_id
+                )
+            except WorkflowCrash:
+                continue  # baseline: the workflow is abandoned
+            completed[wf_id] = 1 if result == wf_id else 0
+            yield env.timeout(0.002)
+
+    procs = [env.process(client(c), name=f"chaos-flow-client-{c}")
+             for c in range(num_clients)]
+    _drive_all(cluster, procs, limit=300.0)
+
+    fault_at = min(crashed.values()) if crashed else 0.0
+    metrics = recovery_metrics(history, fault_at, kinds=("flow.run",),
+                               enabled=resilient)
+    # A completed workflow must have applied all three steps exactly once;
+    # a crashed-and-abandoned one legally leaves its step 0-1 effects
+    # behind (non-duplicate extras), and must never have committed step 2.
+    expected = [(wf, s) for wf in sorted(completed) for s in range(3)]
+    exactly_once = check_exactly_once(db.effect_log, expected)
+    if not resilient:
+        applied = {tuple(e[0]) for e in db.effect_log}
+        for wf in sorted(targets - set(completed)):
+            if (wf, 2) in applied:
+                exactly_once.violations.append(
+                    f"abandoned workflow {wf} applied its commit step"
+                )
+    sanity = [
+        (len(crashed) == len(targets),
+         f"expected {len(targets)} coordinator crashes, saw {len(crashed)}"),
+    ]
+    checks = [exactly_once, check_metalog(cluster)]
+    stats = {
+        "virtual_time_s": round(env.now, 6),
+        "ops_recorded": len(history),
+        "messages_sent": cluster.net.messages_sent,
+        "workflows_total": len(wf_ids),
+        "workflows_completed": len(completed),
+        "coordinator_crashes": len(crashed),
+        "effects_applied": len(db.effect_log),
+    }
+    if resilient:
+        checks.append(check_recovery_slo(metrics, min_availability=0.9))
+        sanity.append((len(completed) == len(wf_ids),
+                       f"only {len(completed)}/{len(wf_ids)} workflows "
+                       f"completed despite recovery"))
+        for key, value in sorted(cluster.resil.snapshot().items()):
+            stats[f"resil_{key}"] = value
+    else:
+        availability = metrics["availability"]
+        sanity.append(
+            (availability is not None and availability < 0.9,
+             f"baseline availability {availability} not degraded"),
+        )
+        sanity.append((0 < len(completed) < len(wf_ids),
+                       "baseline should complete only the uncrashed workflows"))
+    checks.append(_sanity(sanity))
+    return ScenarioResult(checks, timeline, stats, recovery=metrics)
+
+
+@_scenario(
+    "coordinator-crash-midcommit",
+    "Kill the coordinator of every other BokiFlow workflow right before "
+    "its final commit step; with recovery enabled each workflow is "
+    "re-driven from its step journal under the SAME id, so all workflows "
+    "complete with exactly-once effects and availability >= 0.9.",
+    fast=True,
+    recovery=True,
+)
+def coordinator_crash_midcommit(seed: int) -> ScenarioResult:
+    return _coordinator_crash_midcommit(seed, resilient=True)
+
+
+@_scenario(
+    "coordinator-crash-midcommit-norecovery",
+    "The same mid-commit coordinator crashes without recovery: crashed "
+    "workflows are abandoned (never commit, effects stay a safe prefix), "
+    "and availability degrades to the uncrashed fraction.",
+    fast=True,
+    recovery=True,
+)
+def coordinator_crash_midcommit_norecovery(seed: int) -> ScenarioResult:
+    return _coordinator_crash_midcommit(seed, resilient=False)
+
+
+@_scenario(
+    "flaky-links-retry-storm",
+    "Lossy client<->gateway and gateway<->function links for a window "
+    "under store load: short-attempt retries mask the drops (availability "
+    ">= 0.9) while the shared retry budget keeps the storm bounded "
+    "(no denied retries, no breaker lockout) and safety holds.",
+    fast=True,
+    recovery=True,
+)
+def flaky_links_retry_storm(seed: int) -> ScenarioResult:
+    from repro.resil import RetryBudget, RetryPolicy
+
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
+        seed=seed,
+    )
+    resil = cluster.enable_resilience()
+    # A storm-sized budget: the default is tuned for rare faults, not a
+    # sustained lossy window; scenarios size the budget like an operator
+    # would. Deterministic — set before any traffic.
+    resil.budget = RetryBudget(ratio=0.25, max_tokens=200.0, initial=50.0)
+    cluster.boot()
+    history = History(cluster.env)
+    _register_store_fn(cluster)
+    target = cluster.function_nodes[0]
+    cluster.gateway.scheduler = lambda fn, book_id: target
+    fault_at, heal_at = 0.2, 1.4
+    plan = (
+        FaultPlan()
+        .link_fault(fault_at, "client", "gateway", drop=0.08, symmetric=True)
+        .link_fault(fault_at, "gateway", target.name, drop=0.05, symmetric=True)
+        .clear_link_faults(heal_at)
+    )
+    injector = FaultInjector(cluster.env, cluster.net, plan)
+    injector.start()
+    policy = RetryPolicy(max_attempts=8, base_delay=5e-3, max_delay=0.1,
+                         attempt_timeout=0.25, retry_timeouts=True)
+    procs = _gateway_store_clients(
+        cluster, history, num_clients=3, ops_per_client=40, policy=policy,
+    )
+    _drive_all(cluster, procs, limit=300.0)
+    metrics = recovery_metrics(history, fault_at,
+                               kinds=("store.put", "store.get"),
+                               enabled=True)
+    snapshot = resil.snapshot()
+    last_invoke = max((op.t_invoke for op in history.ops), default=0.0)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        check_recovery_slo(metrics, min_availability=0.9),
+        _sanity([
+            (len(injector.timeline) == 3,
+             "link faults / heal did not all fire"),
+            (last_invoke > 0.8, "load did not span the fault window"),
+            (snapshot["retries"] > 0, "the lossy window caused no retries"),
+            (snapshot["budget_denied"] == 0,
+             f"{snapshot['budget_denied']} retries denied: budget too small "
+             f"for the storm"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    for key, value in sorted(snapshot.items()):
+        stats[f"resil_{key}"] = value
+    return ScenarioResult(checks, injector.timeline, stats, recovery=metrics)
+
+
 def fast_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.fast)
+
+
+def recovery_scenarios() -> List[str]:
+    return sorted(name for name, s in SCENARIOS.items() if s.recovery)
 
 
 def all_scenarios() -> List[str]:

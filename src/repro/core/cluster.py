@@ -96,6 +96,7 @@ class BokiCluster:
         self.term: Optional[TermConfig] = None
         self._book_rr = itertools.count()
         self.obs = None
+        self.resil = None
 
     # ------------------------------------------------------------------
     # Observability (repro.obs)
@@ -126,6 +127,31 @@ class BokiCluster:
             for name, node in self.net.nodes.items():
                 obs.profiler.attach_node(node)
         return obs
+
+    # ------------------------------------------------------------------
+    # Resilience (repro.resil)
+    # ------------------------------------------------------------------
+    def enable_resilience(self, policy=None, invoke_policy=None):
+        """Switch on end-to-end failure recovery for every component:
+        gateway failover + client invoke retries, storage-replica and
+        index-engine read failover, and trim retries through
+        reconfiguration. Returns the :class:`~repro.resil.Resilience` hub.
+
+        Determinism: on a fault-free run the layer consumes no
+        randomness and adds no virtual-time events, so same-seed results
+        are byte-identical with the layer on or off.
+        """
+        from repro.resil import Resilience
+
+        if self.resil is not None:
+            return self.resil
+        resil = self.resil = Resilience(
+            self.env, self.net, self.streams, policy=policy
+        )
+        self.gateway.enable_resilience(resil, policy=invoke_policy)
+        for engine in self.engines.values():
+            engine.resil = resil
+        return resil
 
     def metrics_snapshot(self):
         """Current cluster metrics as a :class:`~repro.obs.MetricsRegistry`
@@ -185,11 +211,13 @@ class BokiCluster:
     def register_function(self, fn_name: str, handler: Callable) -> None:
         self.gateway.register_function(fn_name, handler)
 
-    def invoke(self, fn_name: str, arg: Any = None, book_id: Optional[int] = None) -> Generator:
+    def invoke(self, fn_name: str, arg: Any = None, book_id: Optional[int] = None,
+               timeout: Optional[float] = None, policy=None) -> Generator:
         """External invocation from the cluster's client node."""
         return (
             yield from self.gateway.external_invoke(
-                self.client_node, fn_name, arg, book_id=book_id
+                self.client_node, fn_name, arg, book_id=book_id,
+                timeout=timeout, policy=policy,
             )
         )
 

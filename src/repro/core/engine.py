@@ -43,6 +43,33 @@ MAINTENANCE_INTERVAL = 1e-3
 #: sequencers directly. Well above normal ordering latency (~1-2 ms).
 TAIL_FETCH_DELAY = 10e-3
 
+#: Retry policies for the resilience-enabled paths (repro.resil). All of
+#: these operations are idempotent (reads) or deduplicated by position
+#: (trims), so timeouts are safe to retry.
+_STORAGE_READ_POLICY = None  # built lazily to avoid import cost when unused
+_REMOTE_READ_POLICY = None
+_TRIM_POLICY = None
+
+
+def _resil_policies():
+    global _STORAGE_READ_POLICY, _REMOTE_READ_POLICY, _TRIM_POLICY
+    if _STORAGE_READ_POLICY is None:
+        from repro.resil import RetryPolicy
+
+        _STORAGE_READ_POLICY = RetryPolicy(
+            max_attempts=6, base_delay=1e-3, max_delay=0.05,
+            attempt_timeout=0.05, retry_timeouts=True,
+        )
+        _REMOTE_READ_POLICY = RetryPolicy(
+            max_attempts=4, base_delay=2e-3, max_delay=0.1,
+            attempt_timeout=10.0, retry_timeouts=True,
+        )
+        _TRIM_POLICY = RetryPolicy(
+            max_attempts=5, base_delay=5e-3, max_delay=0.2,
+            attempt_timeout=1.0, retry_timeouts=True,
+        )
+    return _STORAGE_READ_POLICY, _REMOTE_READ_POLICY, _TRIM_POLICY
+
 
 class AppendAborted(Exception):
     """An in-flight append's term was sealed before ordering; retried
@@ -99,6 +126,9 @@ class LogBookEngine:
         self.reads_served = 0
         self.remote_reads = 0
         self.obs = DISABLED
+        #: Resilience hub (repro.resil), set by enable_resilience; None
+        #: keeps the original single-pass/fail-fast behavior on every path.
+        self.resil = None
         node.handle("metalog.entry", self._h_metalog_entry)
         node.handle("index.meta", self._h_index_meta)
         node.handle("engine.read", self._h_engine_read)
@@ -466,6 +496,26 @@ class LogBookEngine:
         backers = asg.shard_storage.get(shard)
         if not backers:
             raise KeyError(f"no storage known for seqnum {seqnum:#x}")
+        if self.resil is not None:
+            # Fail over across replicas with backoff, re-resolving the
+            # backer set each attempt so the read follows a
+            # reconfiguration to the current placement. Rotation starts
+            # at the engine's own round-robin offset so a fault-free run
+            # picks the identical replica with the layer on or off.
+            policy, _, _ = _resil_policies()
+            start = self._storage_rr
+            self._storage_rr += 1
+
+            def backers_now():
+                tc = self.term_history.get(term) or self.term_config
+                return tc.assignment(log_id).shard_storage.get(shard) or []
+
+            return (
+                yield from self.resil.call_with_failover(
+                    self.node, backers_now, "storage.read", {"seqnum": seqnum},
+                    policy=policy, start=start,
+                )
+            )
         last_error: Optional[BaseException] = None
         for attempt in range(len(backers)):
             name = backers[(self._storage_rr + attempt) % len(backers)]
@@ -524,6 +574,7 @@ class LogBookEngine:
     ) -> Generator:
         engines = self._index_engines_for(log_id)
         name = engines[self._remote_rr % len(engines)]
+        start = self._remote_rr
         self._remote_rr += 1
         payload = {
             "log_id": log_id,
@@ -534,6 +585,15 @@ class LogBookEngine:
             "cap": cap,
             "position": position,
         }
+        if self.resil is not None:
+            # Fail over across the log's index engines (re-resolved per
+            # attempt, so a post-reconfiguration promotion is picked up).
+            _, policy, _ = _resil_policies()
+            reply = yield from self.resil.call_with_failover(
+                self.node, lambda: self._index_engines_for(log_id),
+                "engine.read", payload, policy=policy, start=start,
+            )
+            return reply["record"], reply["position"]
         if not self.obs.enabled:
             reply = yield self.net.rpc(self.node, name, "engine.read", payload, timeout=10.0)
             return reply["record"], reply["position"]
@@ -637,15 +697,22 @@ class LogBookEngine:
     ) -> Generator:
         engines = self._index_engines_for(log_id)
         name = engines[self._remote_rr % len(engines)]
+        start = self._remote_rr
         self._remote_rr += 1
+        payload = {
+            "log_id": log_id, "book_id": book_id, "tag": tag,
+            "min_seqnum": min_seqnum, "max_seqnum": max_seqnum,
+            "position": position, "limit": limit,
+        }
+        if self.resil is not None:
+            _, policy, _ = _resil_policies()
+            reply = yield from self.resil.call_with_failover(
+                self.node, lambda: self._index_engines_for(log_id),
+                "engine.read_range", payload, policy=policy, start=start,
+            )
+            return reply["records"], reply["position"]
         reply = yield self.net.rpc(
-            self.node, name, "engine.read_range",
-            {
-                "log_id": log_id, "book_id": book_id, "tag": tag,
-                "min_seqnum": min_seqnum, "max_seqnum": max_seqnum,
-                "position": position, "limit": limit,
-            },
-            timeout=10.0,
+            self.node, name, "engine.read_range", payload, timeout=10.0,
         )
         return reply["records"], reply["position"]
 
@@ -696,7 +763,38 @@ class LogBookEngine:
                 self.net.send(self.node, name, "storage.put_aux", {"seqnum": seqnum, "auxdata": auxdata})
 
     def trim(self, book_id: int, tag: int, until_seqnum: int) -> Generator:
-        """Append a trim command to the metalog (§4.4)."""
+        """Append a trim command to the metalog (§4.4).
+
+        With resilience enabled the call retries through a
+        reconfiguration: each attempt re-reads the *current* term's
+        primary, so a trim issued against a dead primary converges on
+        the new term's sequencer instead of failing on the corpse.
+        Trims are idempotent (same ``until_seqnum``), so ambiguous
+        timeouts are safe to retry.
+        """
+        if self.resil is not None:
+            _, _, policy = _resil_policies()
+
+            def attempt():
+                term_config = self.term_config
+                log_id = term_config.log_for_book(book_id)
+                asg = term_config.assignment(log_id)
+                yield self.net.rpc(
+                    self.node,
+                    asg.primary,
+                    "seq.append_trim",
+                    {
+                        "term": term_config.term_id,
+                        "log_id": log_id,
+                        "book_id": book_id,
+                        "tag": tag,
+                        "until_seqnum": until_seqnum,
+                    },
+                    timeout=policy.attempt_timeout,
+                )
+
+            yield from self.resil.call(attempt, policy=policy)
+            return
         term_config = self.term_config
         log_id = term_config.log_for_book(book_id)
         asg = term_config.assignment(log_id)

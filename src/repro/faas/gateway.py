@@ -7,6 +7,14 @@ round-robin; a locality-aware policy can be installed so invocations land
 on nodes whose LogBook engine holds the index for the request's LogBook —
 the optimization §4.4 describes ("scheduling functions on nodes where their
 data is likely to be cached").
+
+Failure handling: every invocation carries a deterministic invocation id.
+With the resilience layer enabled (``BokiCluster.enable_resilience``) the
+gateway reroutes an invocation to another live function node when the
+scheduled node fails mid-call; because the id is stable across reroutes,
+functions that log their effects (BokiFlow workflows keyed by workflow id)
+deduplicate re-execution through the shared log — Boki's exactly-once path
+— while plain functions get documented at-least-once semantics.
 """
 
 from __future__ import annotations
@@ -15,8 +23,9 @@ import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.obs.recorder import DISABLED
+from repro.resil.policy import RetryPolicy, unwrap_failure
 from repro.sim.kernel import Environment
-from repro.sim.network import Network, RpcError
+from repro.sim.network import Network, RpcError, RpcTimeout
 from repro.sim.node import Node
 from repro.faas.worker import FunctionNode
 
@@ -26,15 +35,28 @@ INVOKE_TIMEOUT = 120.0
 
 def _unwrap(exc: RpcError) -> BaseException:
     """Strip nested RpcError layers (client -> gateway -> node) down to the
-    original application exception."""
-    cause: BaseException = exc
-    while isinstance(cause, RpcError):
-        cause = cause.cause
-    return cause
+    original application exception.
+
+    The walk stops at the first non-``RpcError`` cause, so an
+    ``RpcTimeout`` that occurred on an inner hop surfaces *as* an
+    ``RpcTimeout`` — callers (and retry policies) can distinguish the
+    ambiguous case (timeout: the function may have executed) from the
+    definite one (the function raised). See ``repro.resil.classify``.
+    """
+    return unwrap_failure(exc)
 
 
 class FunctionNotFoundError(Exception):
     """Invocation of a function name with no registered handler."""
+
+
+class NoLiveNodesError(RuntimeError):
+    """Every function node is down: the invocation cannot be scheduled.
+
+    Subclasses ``RuntimeError`` for compatibility with callers that
+    caught the previous untyped error. Retryable in principle — nodes
+    may restart — so resilience policies do not treat it as permanent.
+    """
 
 
 class Gateway:
@@ -47,9 +69,14 @@ class Gateway:
         self.function_nodes: List[FunctionNode] = []
         self._functions: Dict[str, Callable] = {}
         self._rr = itertools.count()
+        self._invocation_ids = itertools.count(1)
         #: Optional scheduler override: f(fn_name, book_id) -> FunctionNode.
         self.scheduler: Optional[Callable[[str, Optional[int]], FunctionNode]] = None
         self.obs = DISABLED
+        #: Resilience hub + invoke policy (set by enable_resilience); None
+        #: keeps the fail-fast single-attempt behavior.
+        self.resil = None
+        self.invoke_policy: Optional[RetryPolicy] = None
         self.node.handle("faas.invoke", self._h_invoke)
 
     # ------------------------------------------------------------------
@@ -67,18 +94,40 @@ class Gateway:
         for fnode in self.function_nodes:
             fnode.register_function(fn_name, handler)
 
+    def enable_resilience(self, resil, policy: Optional[RetryPolicy] = None) -> None:
+        """Attach the resilience hub: gateway-side failover across live
+        function nodes plus client-side invoke retries.
+
+        The default policy retries timeouts (invocations are deduplicated
+        through the log when they log their effects; otherwise
+        at-least-once) with a per-attempt timeout short enough to ride
+        through failure detection + reconfiguration windows.
+        """
+        self.resil = resil
+        self.invoke_policy = policy or RetryPolicy(
+            max_attempts=6, base_delay=5e-3, max_delay=0.2,
+            attempt_timeout=1.0, retry_timeouts=True,
+            permanent=(FunctionNotFoundError,),
+        )
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def pick_node(self, fn_name: str, book_id: Optional[int]) -> FunctionNode:
+    def pick_node(self, fn_name: str, book_id: Optional[int],
+                  exclude=()) -> FunctionNode:
+        """Schedule an invocation; ``exclude`` names nodes that already
+        failed this invocation (failover re-picks avoid them while other
+        nodes remain)."""
         if not self.function_nodes:
-            raise RuntimeError("no function nodes attached to gateway")
+            raise NoLiveNodesError("no function nodes attached to gateway")
         if self.scheduler is not None:
             return self.scheduler(fn_name, book_id)
         alive = [f for f in self.function_nodes if f.node.alive]
         if not alive:
-            raise RuntimeError("no live function nodes")
-        return alive[next(self._rr) % len(alive)]
+            raise NoLiveNodesError("no live function nodes")
+        preferred = [f for f in alive if f.name not in exclude]
+        pool = preferred or alive
+        return pool[next(self._rr) % len(pool)]
 
     # ------------------------------------------------------------------
     # Invocation paths
@@ -87,6 +136,8 @@ class Gateway:
         """Gateway-side handler for external invocations."""
         if payload["fn"] not in self._functions:
             raise FunctionNotFoundError(payload["fn"])
+        if self.resil is not None:
+            return (yield from self._invoke_with_failover(payload))
         fnode = self.pick_node(payload["fn"], payload.get("book_id"))
         if not self.obs.enabled:
             reply = yield self.net.rpc(
@@ -101,6 +152,72 @@ class Gateway:
                 self.node, fnode.node, "faas.exec", payload, timeout=INVOKE_TIMEOUT
             )
             return reply
+
+    def _invoke_with_failover(self, payload: dict) -> Generator:
+        """Reroute a failed invocation to another live function node.
+
+        The payload's ``invocation_id`` is stable across reroutes, so a
+        rerouted invocation whose first execution actually ran (lost
+        reply) deduplicates through the log when the function logs its
+        effects. Failed nodes are excluded from re-picks; breakers skip
+        nodes with a recent failure streak.
+
+        Deadline propagation: the client stamps each attempt with an
+        absolute virtual-time ``deadline``; the gateway never launches or
+        retries an execution past it. Without this, a gateway handler
+        whose client has already timed out and retried keeps re-driving
+        the OLD invocation, and its zombie execution can apply a stale
+        write *after* the client's newer operations — which would break
+        linearizability, not just waste work.
+        """
+        resil, policy = self.resil, self.invoke_policy
+        deadline = payload.get("deadline")
+        attempt = 0
+        failed: List[str] = []
+        resil.budget.on_attempt()
+        while True:
+            fnode = self.pick_node(payload["fn"], payload.get("book_id"),
+                                   exclude=failed)
+            breaker = resil.breaker(fnode.name)
+            if not breaker.allow() and len(failed) < len(self.function_nodes):
+                resil.counters["breaker_fast_fails"] += 1
+                failed.append(fnode.name)
+                continue
+            attempt_timeout = policy.attempt_timeout or INVOKE_TIMEOUT
+            if deadline is not None:
+                remaining = deadline - self.env.now
+                if remaining <= 0:
+                    raise RpcTimeout("faas.exec", fnode.name, 0.0)
+                attempt_timeout = min(attempt_timeout, remaining)
+            resil.counters["attempts"] += 1
+            try:
+                reply = yield self.net.rpc(
+                    self.node, fnode.node, "faas.exec", payload,
+                    timeout=attempt_timeout,
+                )
+            except (RpcError, RpcTimeout) as exc:
+                breaker.record_failure()
+                if not policy.should_retry(exc, attempt):
+                    raise
+                if not resil.budget.try_spend():
+                    raise
+                backoff = policy.backoff(attempt, resil.jitter_rng())
+                if deadline is not None and self.env.now + backoff >= deadline:
+                    raise  # the client has (or will have) given up: no zombies
+                resil.counters["retries"] += 1
+                resil.counters["reroutes"] += 1
+                if fnode.name not in failed:
+                    failed.append(fnode.name)
+                if len(failed) >= len(self.function_nodes):
+                    failed = []  # full cycle: everyone gets another chance
+                yield self.env.timeout(backoff)
+                attempt += 1
+                continue
+            breaker.record_success()
+            return reply
+
+    def _new_invocation_id(self) -> str:
+        return f"inv-{next(self._invocation_ids)}"
 
     def invoke_from(
         self,
@@ -126,6 +243,8 @@ class Gateway:
             "book_id": book_id,
             "baggage": baggage or {},
             "parent_id": parent_id,
+            "invocation_id": self._new_invocation_id(),
+            "deadline": self.env.now + INVOKE_TIMEOUT,
         }
         fnode = self.pick_node(fn_name, book_id)
         try:
@@ -142,16 +261,58 @@ class Gateway:
         fn_name: str,
         arg: Any = None,
         book_id: Optional[int] = None,
+        timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Client entry point: client -> gateway -> function node.
 
-        Returns only the result (clients do not see baggage).
+        Returns only the result (clients do not see baggage). Application
+        errors surface with their original types — including
+        :class:`FunctionNotFoundError`, :class:`NoLiveNodesError`, and
+        inner-hop :class:`RpcTimeout` (see :func:`_unwrap`).
+
+        ``timeout`` bounds each attempt (default the per-policy attempt
+        timeout, else :data:`INVOKE_TIMEOUT`); ``policy`` (or the
+        gateway's resilience-enabled default) retries the call from the
+        client side — the same invocation id is reused, so retried
+        invocations that log their effects stay exactly-once.
         """
-        payload = {"fn": fn_name, "arg": arg, "book_id": book_id, "baggage": {}}
-        try:
-            reply = yield self.net.rpc(
-                client_node, self.node, "faas.invoke", payload, timeout=INVOKE_TIMEOUT
-            )
-        except RpcError as exc:
-            raise _unwrap(exc) from None
-        return reply["result"]
+        if policy is None and self.resil is not None:
+            policy = self.invoke_policy
+        payload = {
+            "fn": fn_name, "arg": arg, "book_id": book_id, "baggage": {},
+            "invocation_id": self._new_invocation_id(),
+        }
+        attempt = 0
+        if policy is not None and self.resil is not None:
+            self.resil.budget.on_attempt()
+        while True:
+            deadline = timeout
+            if deadline is None:
+                deadline = (policy.attempt_timeout if policy is not None
+                            else None) or INVOKE_TIMEOUT
+            # Stamp the attempt's absolute deadline so the gateway stops
+            # driving this invocation once the client gives up on it.
+            payload["deadline"] = self.env.now + deadline
+            try:
+                reply = yield self.net.rpc(
+                    client_node, self.node, "faas.invoke", payload,
+                    timeout=deadline,
+                )
+                return reply["result"]
+            except (RpcError, RpcTimeout) as exc:
+                cause = _unwrap(exc)
+                if policy is None or not policy.should_retry(exc, attempt):
+                    if isinstance(exc, RpcTimeout):
+                        raise  # ambiguous: surface the timeout itself
+                    raise cause from None
+                if self.resil is not None and not self.resil.budget.try_spend():
+                    if isinstance(exc, RpcTimeout):
+                        raise
+                    raise cause from None
+                rng = (self.resil.jitter_rng() if self.resil is not None
+                       else self.net.streams.stream("resil-jitter"))
+                if self.resil is not None:
+                    self.resil.counters["retries"] += 1
+                yield self.env.timeout(policy.backoff(attempt, rng))
+                attempt += 1

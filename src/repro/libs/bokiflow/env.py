@@ -63,7 +63,11 @@ class WorkflowEnv:
         self.fault_hook: Optional[Callable[[int], None]] = runtime.fault_hook
 
     def _pre_step(self) -> None:
-        if self.fault_hook is not None:
+        # The env-aware hook (repro.chaos) sees which workflow is at which
+        # step; the plain hook keeps the original (step-only) signature.
+        if self.runtime.fault_hook_env is not None:
+            self.runtime.fault_hook_env(self, self.step)
+        elif self.fault_hook is not None:
             self.fault_hook(self.step)
 
     # ------------------------------------------------------------------
@@ -208,6 +212,14 @@ class BokiFlowRuntime:
         self.db_service = db_service
         self._wf_ids = itertools.count(1)
         self.fault_hook: Optional[Callable[[int], None]] = None
+        #: Env-aware failure hook: called as ``hook(env, step)`` before
+        #: each step (takes precedence over ``fault_hook``), so chaos
+        #: scenarios can target specific workflow instances.
+        self.fault_hook_env: Optional[Callable[["WorkflowEnv", int], None]] = None
+        #: Optional repro.chaos history recorder + client name for the
+        #: resilient driver's logical ``flow.run`` operations.
+        self.history = None
+        self.client_name = "flow"
 
     def new_workflow_id(self, prefix: str = "wf") -> str:
         return f"{prefix}-{next(self._wf_ids)}"
@@ -250,3 +262,60 @@ class BokiFlowRuntime:
             name, {"workflow_id": workflow_id, "input": arg}, book_id=book_id
         )
         return result
+
+    def run_workflow(
+        self,
+        name: str,
+        arg: Any = None,
+        book_id: int = 0,
+        workflow_id: Optional[str] = None,
+        policy=None,
+    ) -> Generator:
+        """Resilient driver: re-drive the workflow from its step journal
+        when an execution dies mid-commit (Beldi's re-execution model).
+
+        Each re-drive reuses the SAME workflow id, so the step log's
+        test-and-append and the idempotent version-guarded writes make
+        re-execution exactly-once — the crashed execution's applied
+        steps replay as no-ops. Without the cluster's resilience layer
+        (and no explicit ``policy``) this degrades to a single attempt,
+        i.e. :meth:`start_workflow`.
+        """
+        from repro.sim.network import RpcError, RpcTimeout
+        from repro.sim.node import NodeDownError
+
+        workflow_id = workflow_id or self.new_workflow_id()
+        resil = getattr(self.cluster, "resil", None)
+        if policy is None and resil is not None:
+            policy = self.cluster.gateway.invoke_policy
+        history = self.history
+        op = None
+        if history is not None:
+            op = history.invoke(self.client_name, "flow.run", workflow_id, arg)
+        attempt = 0
+        if resil is not None:
+            resil.budget.on_attempt()
+        while True:
+            try:
+                result = yield from self.start_workflow(
+                    name, arg, book_id=book_id, workflow_id=workflow_id
+                )
+            except (WorkflowCrash, RpcError, RpcTimeout, NodeDownError) as exc:
+                retry = policy is not None and policy.should_retry(exc, attempt)
+                if retry and resil is not None and not resil.budget.try_spend():
+                    retry = False
+                if not retry:
+                    if op is not None:
+                        history.fail(op, type(exc).__name__)
+                    raise
+                if resil is not None:
+                    resil.counters["retries"] += 1
+                    rng = resil.jitter_rng()
+                else:
+                    rng = self.cluster.streams.stream("resil-jitter")
+                yield self.cluster.env.timeout(policy.backoff(attempt, rng))
+                attempt += 1
+                continue
+            if op is not None:
+                history.ok(op, result)
+            return result

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.libs.bokiflow.locks import LockState, try_lock, unlock
+from repro.libs.bokiflow.locks import LockState, check_lock_state, try_lock, unlock
 from repro.libs.bokiqueue.queue import BokiQueue, QueueConsumer
 
 
@@ -50,6 +50,32 @@ def acquire_shard(
         if state is not None:
             return ShardLease(queue, shard, state, env)
     return None
+
+
+def reclaim_shard(
+    queue: BokiQueue, env, shard: int, dead_holder: str, consumer_id: str
+) -> Generator:
+    """Recover a shard whose consumer crashed while holding its lease.
+
+    The caller is responsible for determining that ``dead_holder`` is
+    actually gone (e.g. via the coordination service's session expiry);
+    this function performs the log-side handoff: it force-releases the
+    stale lease by appending an EMPTY update chained on the dead
+    consumer's acquire record, then claims the shard for
+    ``consumer_id``. Both appends go through the lock chain rule, so a
+    racing reclaim (two successors spotting the same dead consumer) is
+    linearized by the log — exactly one successor wins, the other gets
+    None back and moves on.
+    """
+    state = yield from check_lock_state(env, _lease_key(queue, shard))
+    if state is not None and state.holder == dead_holder:
+        yield from unlock(env, _lease_key(queue, shard), state)
+    elif state is not None and state.holder not in ("", consumer_id):
+        return None  # someone else already reclaimed it
+    new_state = yield from try_lock(env, _lease_key(queue, shard), consumer_id)
+    if new_state is None:
+        return None
+    return ShardLease(queue, shard, new_state, env)
 
 
 def acquire_shard_wait(

@@ -1,0 +1,239 @@
+"""The resilience hub: retrying RPC wrappers over ``sim.network``.
+
+One :class:`Resilience` instance serves a whole cluster (see
+``BokiCluster.enable_resilience``). It owns the shared retry budget, the
+per-destination circuit breakers, the deterministic jitter RNG stream,
+and counters that scenarios embed in verdict artifacts.
+
+The wrappers are generator functions consumed with ``yield from`` inside
+a simulation process::
+
+    reply = yield from resil.rpc(src, "storage-1", "storage.read", payload)
+    reply = yield from resil.call_with_failover(
+        src, lambda: current_backers(), "storage.read", payload)
+
+Passing a *callable* destination list re-resolves the candidates on
+every attempt, which is how engine calls ride through reconfiguration:
+after a term change the callable returns the new term's nodes and the
+retry loop converges on them instead of deadlocking on a dead primary.
+
+Determinism guarantee: the first attempt of every wrapper is exactly one
+``Network.rpc`` call — no RNG draw, no extra timeout event, no added
+virtual time — so a fault-free run behaves byte-identically with the
+resilience layer on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Union
+
+from repro.resil.breaker import CircuitBreaker, CircuitOpenError
+from repro.resil.policy import RetryBudget, RetryPolicy
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, RpcError, RpcTimeout
+from repro.sim.node import Node
+
+#: Default policy for idempotent intra-cluster calls (reads, trims):
+#: timeouts are ambiguous but the operations tolerate re-execution.
+DEFAULT_POLICY = RetryPolicy(max_attempts=4, base_delay=2e-3, max_delay=0.2,
+                             retry_timeouts=True)
+
+
+class Resilience:
+    """Shared resilience state + retrying call wrappers for one cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        streams,
+        policy: Optional[RetryPolicy] = None,
+        budget: Optional[RetryBudget] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 0.25,
+    ):
+        self.env = env
+        self.net = net
+        self.streams = streams
+        self.policy = policy or DEFAULT_POLICY
+        self.budget = budget or RetryBudget()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        #: Jitter RNG, created lazily on the first retry so fault-free
+        #: runs consume no randomness (the ``chaos-net`` pattern).
+        self._rng = None
+        self.counters: Dict[str, int] = {
+            "attempts": 0,
+            "retries": 0,
+            "failovers": 0,
+            "reroutes": 0,
+            "breaker_fast_fails": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Shared state
+    # ------------------------------------------------------------------
+    def jitter_rng(self):
+        if self._rng is None:
+            self._rng = self.streams.stream("resil-jitter")
+        return self._rng
+
+    def breaker(self, destination: str) -> CircuitBreaker:
+        breaker = self.breakers.get(destination)
+        if breaker is None:
+            breaker = self.breakers[destination] = CircuitBreaker(
+                self.env, destination,
+                failure_threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset,
+            )
+        return breaker
+
+    def snapshot(self) -> Dict[str, int]:
+        """Deterministic counter snapshot for verdict artifacts."""
+        snap = dict(self.counters)
+        snap["breaker_trips"] = sum(b.trips for b in self.breakers.values())
+        snap["budget_spent"] = self.budget.spent
+        snap["budget_denied"] = self.budget.denied
+        return snap
+
+    # ------------------------------------------------------------------
+    # Call wrappers
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        src: Union[str, Node],
+        dst: Union[str, Node],
+        method: str,
+        payload=None,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Retrying request/response call to a single destination.
+
+        Raises :class:`CircuitOpenError` without touching the network
+        when the destination's breaker is open; otherwise re-raises the
+        last transport error once the policy or budget is exhausted.
+        """
+        policy = policy or self.policy
+        dst_name = dst if isinstance(dst, str) else dst.name
+        attempt = 0
+        self.budget.on_attempt()
+        while True:
+            breaker = self.breaker(dst_name)
+            if not breaker.allow():
+                self.counters["breaker_fast_fails"] += 1
+                raise CircuitOpenError(dst_name)
+            self.counters["attempts"] += 1
+            try:
+                result = yield self.net.rpc(
+                    src, dst, method, payload,
+                    timeout=timeout if timeout is not None else policy.attempt_timeout,
+                )
+            except (RpcError, RpcTimeout) as exc:
+                breaker.record_failure()
+                if not policy.should_retry(exc, attempt):
+                    raise
+                if not self.budget.try_spend():
+                    raise
+                self.counters["retries"] += 1
+                yield self.env.timeout(policy.backoff(attempt, self.jitter_rng()))
+                attempt += 1
+                continue
+            breaker.record_success()
+            return result
+
+    def call_with_failover(
+        self,
+        src: Union[str, Node],
+        dsts: Union[List, Callable[[], List]],
+        method: str,
+        payload=None,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+        start: int = 0,
+    ) -> Generator:
+        """Retrying call that rotates across candidate destinations.
+
+        ``dsts`` is a list of node names/Nodes, or a callable returning
+        the *current* list (re-resolved every attempt — the hook that
+        lets calls follow a reconfiguration to the new term's nodes).
+        ``start`` offsets the rotation so callers can preserve their own
+        round-robin state (identical destination choice with the layer
+        on or off in fault-free runs).
+        """
+        policy = policy or self.policy
+        attempt = 0
+        offset = start
+        self.budget.on_attempt()
+        while True:
+            candidates = list(dsts() if callable(dsts) else dsts)
+            if not candidates:
+                raise LookupError(f"no destinations available for {method!r}")
+            names = [c if isinstance(c, str) else c.name for c in candidates]
+            # Next candidate in rotation whose breaker admits the call;
+            # if every breaker is open, probe the rotation choice anyway
+            # (total lockout would otherwise outlive the fault).
+            chosen = None
+            for i in range(len(names)):
+                idx = (offset + i) % len(names)
+                if self.breaker(names[idx]).allow():
+                    chosen = idx
+                    break
+                self.counters["breaker_fast_fails"] += 1
+            if chosen is None:
+                chosen = offset % len(names)
+            self.counters["attempts"] += 1
+            try:
+                result = yield self.net.rpc(
+                    src, candidates[chosen], method, payload,
+                    timeout=timeout if timeout is not None else policy.attempt_timeout,
+                )
+            except (RpcError, RpcTimeout) as exc:
+                self.breaker(names[chosen]).record_failure()
+                if not policy.should_retry(exc, attempt):
+                    raise
+                if not self.budget.try_spend():
+                    raise
+                self.counters["retries"] += 1
+                if len(names) > 1:
+                    self.counters["failovers"] += 1
+                offset = chosen + 1
+                yield self.env.timeout(policy.backoff(attempt, self.jitter_rng()))
+                attempt += 1
+                continue
+            self.breaker(names[chosen]).record_success()
+            return result
+
+    def call(
+        self,
+        attempt_fn: Callable[[], Generator],
+        policy: Optional[RetryPolicy] = None,
+        retry_on: tuple = (RpcError, RpcTimeout),
+    ) -> Generator:
+        """Retry an arbitrary generator-producing thunk.
+
+        ``attempt_fn`` is invoked fresh on every attempt, so call sites
+        that must rebuild request state per attempt (re-reading the
+        current term's primary, re-deriving a payload) express that
+        naturally. ``retry_on`` widens the retryable set beyond
+        transport errors — e.g. workflow re-drivers retry
+        ``WorkflowCrash``.
+        """
+        policy = policy or self.policy
+        attempt = 0
+        self.budget.on_attempt()
+        while True:
+            self.counters["attempts"] += 1
+            try:
+                result = yield from attempt_fn()
+            except retry_on as exc:
+                if not policy.should_retry(exc, attempt):
+                    raise
+                if not self.budget.try_spend():
+                    raise
+                self.counters["retries"] += 1
+                yield self.env.timeout(policy.backoff(attempt, self.jitter_rng()))
+                attempt += 1
+                continue
+            return result

@@ -1,0 +1,159 @@
+"""Recovery scenarios: availability/RTO SLOs, degraded baselines, and the
+determinism guarantees of the resilience layer."""
+
+import json
+
+import pytest
+
+from repro.chaos.history import History
+from repro.chaos.liveness import check_recovery_slo, recovery_metrics
+from repro.chaos.runner import SCHEMA, run_scenario, write_verdict
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    _drive_all,
+    _gateway_store_clients,
+    _register_store_fn,
+    recovery_scenarios,
+)
+from repro.core.cluster import BokiCluster
+
+pytestmark = [pytest.mark.chaos, pytest.mark.recovery]
+
+
+class TestLivenessChecker:
+    def _history(self, env_times):
+        history = History(env=None)
+
+        class FakeEnv:
+            now = 0.0
+
+        history.env = FakeEnv()
+        for kind, t_invoke, t_return, ok in env_times:
+            history.env.now = t_invoke
+            op = history.invoke("c", kind, "k", 1)
+            history.env.now = t_return
+            (history.ok if ok else history.fail)(op, "x")
+        return history
+
+    def test_metrics_window_availability_and_rto(self):
+        history = self._history([
+            ("op", 0.1, 0.2, True),   # before the fault: excluded
+            ("op", 1.0, 1.1, False),
+            ("op", 1.2, 1.6, True),   # first post-fault success
+            ("op", 1.7, 1.8, True),
+        ])
+        metrics = recovery_metrics(history, fault_at=0.5)
+        assert metrics["window_ops"] == 3
+        assert metrics["window_ok"] == 2
+        assert metrics["availability"] == pytest.approx(2 / 3)
+        assert metrics["rto_s"] == pytest.approx(1.6 - 0.5)
+
+    def test_never_recovering_yields_unbounded_rto(self):
+        history = self._history([("op", 1.0, 1.1, False)])
+        metrics = recovery_metrics(history, fault_at=0.5)
+        assert metrics["rto_s"] is None
+        result = check_recovery_slo(metrics, min_availability=0.9)
+        assert result.violations
+
+    def test_slo_pass_and_fail(self):
+        good = {"availability": 0.95, "rto_s": 1.0, "window_ops": 10}
+        assert not check_recovery_slo(good, min_availability=0.9).violations
+        bad = {"availability": 0.5, "rto_s": 1.0, "window_ops": 10}
+        assert check_recovery_slo(bad, min_availability=0.9).violations
+        slow = {"availability": 0.95, "rto_s": 5.0, "window_ops": 10}
+        assert check_recovery_slo(slow, min_availability=0.9,
+                                  max_rto=2.0).violations
+
+
+class TestRecoveryScenarios:
+    def test_catalog_pairs_recovery_with_baselines(self):
+        names = recovery_scenarios()
+        assert "crash-primary-under-load" in names
+        assert "crash-primary-under-load-norecovery" in names
+        assert "coordinator-crash-midcommit" in names
+        assert "coordinator-crash-midcommit-norecovery" in names
+        assert "flaky-links-retry-storm" in names
+
+    @pytest.mark.parametrize("name", ["coordinator-crash-midcommit",
+                                      "flaky-links-retry-storm"])
+    def test_resilient_scenario_meets_slo(self, name):
+        doc = run_scenario(name, seed=1)
+        assert doc["schema"] == SCHEMA == "repro.chaos/2"
+        assert doc["passed"], doc["checks"]
+        recovery = doc["recovery"]
+        assert recovery["enabled"] is True
+        assert recovery["availability"] >= 0.9
+        assert recovery["rto_s"] is not None  # recovery happened in finite time
+
+    def test_crash_primary_meets_slo(self):
+        doc = run_scenario("crash-primary-under-load", seed=1)
+        assert doc["passed"], doc["checks"]
+        assert doc["recovery"]["availability"] >= 0.9
+        assert doc["recovery"]["rto_s"] is not None
+        assert doc["stats"]["resil_retries"] > 0
+
+    @pytest.mark.parametrize("name", ["coordinator-crash-midcommit-norecovery",
+                                      "crash-primary-under-load-norecovery"])
+    def test_baseline_degrades_but_stays_safe(self, name):
+        """Without the resilience layer the same faults degrade
+        availability below the SLO — yet safety checkers still pass, so
+        the baseline isolates liveness loss from safety loss."""
+        doc = run_scenario(name, seed=1)
+        assert doc["passed"], doc["checks"]
+        recovery = doc["recovery"]
+        assert recovery["enabled"] is False
+        assert recovery["availability"] < 0.9
+
+    def test_verdicts_byte_identical_across_reruns(self, tmp_path):
+        paths = []
+        for run in ("a", "b"):
+            doc = run_scenario("coordinator-crash-midcommit", seed=2)
+            paths.append(write_verdict(doc, directory=str(tmp_path / run)))
+        with open(paths[0], "rb") as fa, open(paths[1], "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_recovery_scenarios_are_marked_in_catalog(self):
+        for name in recovery_scenarios():
+            assert SCENARIOS[name].recovery
+
+
+class TestFaultFreeTransparency:
+    def _fingerprint(self, resilient, seed=5):
+        """Run an identical fault-free gateway store workload and reduce
+        the run to a comparable trace."""
+        cluster = BokiCluster(
+            num_function_nodes=2, num_storage_nodes=3,
+            num_sequencer_nodes=3, seed=seed,
+        )
+        if resilient:
+            cluster.enable_resilience()
+        cluster.boot()
+        history = History(cluster.env)
+        _register_store_fn(cluster)
+        procs = _gateway_store_clients(cluster, history, num_clients=2,
+                                       ops_per_client=10)
+        _drive_all(cluster, procs, limit=300.0)
+        return json.dumps({
+            "now": round(cluster.env.now, 9),
+            "messages_sent": cluster.net.messages_sent,
+            "history": history.to_dicts(),
+        }, sort_keys=True)
+
+    def test_resilience_layer_invisible_without_faults(self):
+        """Same seed, no faults: enabling the resilience layer must not
+        perturb the simulation — no extra messages, no RNG draws, and a
+        byte-identical operation history."""
+        assert self._fingerprint(resilient=False) == \
+            self._fingerprint(resilient=True)
+
+    def test_no_jitter_rng_consumed_without_faults(self):
+        cluster = BokiCluster(num_function_nodes=2, seed=3)
+        cluster.enable_resilience()
+        cluster.boot()
+        history = History(cluster.env)
+        _register_store_fn(cluster)
+        procs = _gateway_store_clients(cluster, history, num_clients=1,
+                                       ops_per_client=5)
+        _drive_all(cluster, procs, limit=300.0)
+        assert cluster.resil._rng is None
+        assert cluster.resil.counters["retries"] == 0

@@ -325,3 +325,81 @@ class TestLocalityScheduler:
         cluster.drive(flow(), limit=120.0)
         # All four index engines should receive work.
         assert len(set(seen)) >= 3
+
+
+class TestLeaseReclaim:
+    """Recovering shards whose consumer crashed while holding the lease."""
+
+    def make_env(self, cluster, name):
+        runtime = BokiFlowRuntime(cluster)
+        fnode = cluster.function_nodes[0]
+        ctx = FunctionContext(node=fnode.node, gateway_invoke=None, book_id=26)
+        return WorkflowEnv(runtime, ctx, name)
+
+    def test_reclaim_takes_over_dead_consumer_shard(self, cluster):
+        from repro.libs.bokiqueue.leases import reclaim_shard
+
+        q = BokiQueue(cluster.logbook(26), "reclaim1", num_shards=1)
+
+        def flow():
+            dead_env = self.make_env(cluster, "dead")
+            # The consumer acquires, processes nothing, and "crashes":
+            # its lease record stays in the log with no release.
+            yield from acquire_shard(q, dead_env, "dead-consumer")
+            succ_env = self.make_env(cluster, "succ")
+            # A successor cannot acquire normally...
+            blocked = yield from acquire_shard(q, succ_env, "successor")
+            # ...but after (externally) determining the holder is gone it
+            # reclaims: force-release chained on the stale acquire + lock.
+            lease = yield from reclaim_shard(q, succ_env, 0, "dead-consumer",
+                                             "successor")
+            return blocked is None, lease
+
+        blocked, lease = drive(cluster, flow())
+        assert blocked is True
+        assert lease is not None and lease.shard == 0
+
+    def test_reclaimed_lease_consumes_and_releases(self, cluster):
+        from repro.libs.bokiqueue.leases import reclaim_shard
+
+        q = BokiQueue(cluster.logbook(26), "reclaim2", num_shards=1)
+
+        def flow():
+            yield from q.producer().push("orphaned-job")
+            dead_env = self.make_env(cluster, "dead")
+            yield from acquire_shard(q, dead_env, "dead-consumer")
+            succ_env = self.make_env(cluster, "succ")
+            lease = yield from reclaim_shard(q, succ_env, 0, "dead-consumer",
+                                             "successor")
+            value = yield from lease.consumer.pop()
+            yield from lease.release()
+            # After the successor releases, a third consumer acquires freely.
+            third = yield from acquire_shard(q, self.make_env(cluster, "t"),
+                                             "third")
+            return value, third is not None
+
+        value, reacquired = drive(cluster, flow())
+        assert value == "orphaned-job"
+        assert reacquired is True
+
+    def test_racing_reclaims_linearized_one_winner(self, cluster):
+        from repro.libs.bokiqueue.leases import reclaim_shard
+
+        q = BokiQueue(cluster.logbook(26), "reclaim3", num_shards=1)
+        env_sim = cluster.env
+        results = {}
+
+        def setup():
+            dead_env = self.make_env(cluster, "dead")
+            yield from acquire_shard(q, dead_env, "dead-consumer")
+
+        def racer(name):
+            env = self.make_env(cluster, name)
+            lease = yield from reclaim_shard(q, env, 0, "dead-consumer", name)
+            results[name] = lease
+
+        drive(cluster, setup())
+        procs = [env_sim.process(racer(f"succ-{i}")) for i in range(2)]
+        env_sim.run_until(env_sim.all_of(procs), limit=600.0)
+        winners = [name for name, lease in results.items() if lease is not None]
+        assert len(winners) == 1

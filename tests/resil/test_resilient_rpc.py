@@ -1,0 +1,242 @@
+"""Integration tests for the Resilience hub's retrying call wrappers."""
+
+import pytest
+
+from repro.resil import CircuitOpenError, Resilience, RetryBudget, RetryPolicy
+from repro.sim import Environment, Network, Node
+from repro.sim.network import RpcError, RpcTimeout
+from repro.sim.randvar import RandomStreams
+
+
+class Harness:
+    """A client node plus two servers whose handlers fail on demand."""
+
+    def __init__(self, seed=1, **resil_kwargs):
+        self.env = Environment()
+        self.streams = RandomStreams(seed=seed)
+        self.net = Network(self.env, self.streams, jitter=0.0)
+        self.client = self.net.register(Node(self.env, "client"))
+        self.servers = {}
+        self.calls = {}
+        for name in ("srv-a", "srv-b"):
+            node = self.net.register(Node(self.env, name))
+            self.servers[name] = node
+            self.calls[name] = 0
+            node.handle("echo", self._make_handler(name))
+        self.resil = Resilience(self.env, self.net, self.streams,
+                                **resil_kwargs)
+        self.fail_first = {}  # name -> how many leading calls raise
+
+    def _make_handler(self, name):
+        def handler(payload):
+            self.calls[name] += 1
+            if self.fail_first.get(name, 0) >= self.calls[name]:
+                raise RuntimeError(f"{name} transient failure")
+            yield self.env.timeout(1e-4)
+            return {"from": name, "payload": payload}
+        return handler
+
+    def drive(self, gen, limit=60.0):
+        proc = self.env.process(gen)
+        return self.env.run_until(proc, limit=limit)
+
+
+class TestRetryingRpc:
+    def test_retries_transient_failures_to_success(self):
+        h = Harness()
+        h.fail_first["srv-a"] = 2
+        policy = RetryPolicy(max_attempts=4, base_delay=1e-3)
+
+        def flow():
+            return (yield from h.resil.rpc(h.client, "srv-a", "echo", {"x": 1},
+                                           policy=policy))
+
+        reply = h.drive(flow())
+        assert reply["from"] == "srv-a"
+        assert h.calls["srv-a"] == 3
+        assert h.resil.counters["retries"] == 2
+        assert h.resil.budget.spent == 2
+
+    def test_exhausted_policy_reraises_last_error(self):
+        h = Harness()
+        h.fail_first["srv-a"] = 100
+        policy = RetryPolicy(max_attempts=3, base_delay=1e-3)
+
+        def flow():
+            yield from h.resil.rpc(h.client, "srv-a", "echo", None,
+                                   policy=policy)
+
+        with pytest.raises(RpcError):
+            h.drive(flow())
+        assert h.calls["srv-a"] == 3
+
+    def test_timeouts_not_retried_without_opt_in(self):
+        h = Harness()
+        h.servers["srv-a"].crash()
+        policy = RetryPolicy(max_attempts=4, retry_timeouts=False,
+                             attempt_timeout=0.05)
+
+        def flow():
+            yield from h.resil.rpc(h.client, "srv-a", "echo", None,
+                                   policy=policy)
+
+        with pytest.raises(RpcTimeout):
+            h.drive(flow())
+        assert h.resil.counters["attempts"] == 1
+
+    def test_fault_free_calls_consume_no_randomness(self):
+        """The determinism guarantee: a successful call draws no jitter
+        RNG and leaves the lazy stream uncreated."""
+        h = Harness()
+
+        def flow():
+            for _ in range(5):
+                yield from h.resil.rpc(h.client, "srv-a", "echo", None)
+
+        h.drive(flow())
+        assert h.resil._rng is None
+        assert h.resil.counters["retries"] == 0
+
+    def test_budget_denial_surfaces_original_error(self):
+        h = Harness(budget=RetryBudget(ratio=0.0, max_tokens=5.0, initial=1.0))
+        h.fail_first["srv-a"] = 100
+        policy = RetryPolicy(max_attempts=10, base_delay=1e-3)
+
+        def flow():
+            yield from h.resil.rpc(h.client, "srv-a", "echo", None,
+                                   policy=policy)
+
+        with pytest.raises(RpcError):
+            h.drive(flow())
+        # One initial token: one retry spent, the second denied.
+        assert h.resil.budget.spent == 1
+        assert h.resil.budget.denied == 1
+        assert h.calls["srv-a"] == 2
+
+
+class TestCircuitBreaking:
+    def test_breaker_opens_and_fails_fast(self):
+        h = Harness(breaker_threshold=2, breaker_reset=10.0)
+        h.fail_first["srv-a"] = 100
+        policy = RetryPolicy(max_attempts=1)
+
+        def call_once():
+            yield from h.resil.rpc(h.client, "srv-a", "echo", None,
+                                   policy=policy)
+
+        for _ in range(2):
+            with pytest.raises(RpcError):
+                h.drive(call_once())
+        calls_before = h.calls["srv-a"]
+        with pytest.raises(CircuitOpenError):
+            h.drive(call_once())
+        assert h.calls["srv-a"] == calls_before  # no network traffic
+        assert h.resil.counters["breaker_fast_fails"] == 1
+
+    def test_half_open_probe_recovers_after_reset(self):
+        h = Harness(breaker_threshold=2, breaker_reset=0.2)
+        h.fail_first["srv-a"] = 2
+        policy = RetryPolicy(max_attempts=1)
+
+        def call_once():
+            return (yield from h.resil.rpc(h.client, "srv-a", "echo", None,
+                                           policy=policy))
+
+        for _ in range(2):
+            with pytest.raises(RpcError):
+                h.drive(call_once())
+        assert h.resil.breaker("srv-a").state == "open"
+
+        def wait_then_call():
+            yield h.env.timeout(0.25)
+            return (yield from h.resil.rpc(h.client, "srv-a", "echo", None,
+                                           policy=policy))
+
+        reply = h.drive(wait_then_call())
+        assert reply["from"] == "srv-a"
+        assert h.resil.breaker("srv-a").state == "closed"
+
+
+class TestFailover:
+    def test_fails_over_to_next_candidate(self):
+        h = Harness()
+        h.servers["srv-a"].crash()
+        policy = RetryPolicy(max_attempts=4, retry_timeouts=True,
+                             attempt_timeout=0.05, base_delay=1e-3)
+
+        def flow():
+            return (yield from h.resil.call_with_failover(
+                h.client, ["srv-a", "srv-b"], "echo", None, policy=policy))
+
+        reply = h.drive(flow())
+        assert reply["from"] == "srv-b"
+        assert h.resil.counters["failovers"] == 1
+
+    def test_start_offset_preserves_caller_round_robin(self):
+        h = Harness()
+
+        def flow(start):
+            return (yield from h.resil.call_with_failover(
+                h.client, ["srv-a", "srv-b"], "echo", None, start=start))
+
+        assert h.drive(flow(0))["from"] == "srv-a"
+        assert h.drive(flow(1))["from"] == "srv-b"
+        assert h.drive(flow(2))["from"] == "srv-a"
+
+    def test_callable_destinations_reresolved_each_attempt(self):
+        """The reconfiguration hook: after a failure the candidate list is
+        re-read, so a retry converges on the new term's nodes."""
+        h = Harness()
+        h.servers["srv-a"].crash()
+        current = {"nodes": ["srv-a"]}
+        policy = RetryPolicy(max_attempts=4, retry_timeouts=True,
+                             attempt_timeout=0.05, base_delay=1e-3)
+
+        def flow():
+            def backers():
+                return current["nodes"]
+            return (yield from h.resil.call_with_failover(
+                h.client, backers, "echo", None, policy=policy))
+
+        def reconfigure():
+            yield h.env.timeout(0.02)
+            current["nodes"] = ["srv-b"]
+
+        h.env.process(reconfigure())
+        reply = h.drive(flow())
+        assert reply["from"] == "srv-b"
+
+    def test_open_breakers_skipped_in_rotation(self):
+        h = Harness(breaker_threshold=1, breaker_reset=10.0)
+        h.resil.breaker("srv-a").record_failure()  # trip srv-a open
+
+        def flow():
+            return (yield from h.resil.call_with_failover(
+                h.client, ["srv-a", "srv-b"], "echo", None, start=0))
+
+        reply = h.drive(flow())
+        assert reply["from"] == "srv-b"
+        assert h.resil.counters["breaker_fast_fails"] == 1
+
+
+class TestCallThunk:
+    def test_thunk_rebuilt_each_attempt_and_custom_retry_on(self):
+        h = Harness()
+        attempts = []
+
+        class AppError(Exception):
+            pass
+
+        def flow():
+            def attempt():
+                attempts.append(h.env.now)
+                if len(attempts) < 3:
+                    raise AppError("try again")
+                yield h.env.timeout(1e-4)
+                return "done"
+            policy = RetryPolicy(max_attempts=5, base_delay=1e-3)
+            return (yield from h.resil.call(attempt, policy=policy,
+                                            retry_on=(AppError,)))
+
+        assert h.drive(flow()) == "done"
+        assert len(attempts) == 3
