@@ -95,6 +95,20 @@ def make_cluster(
     return cluster
 
 
+def adopt_cluster(cluster) -> "BokiCluster":
+    """Register a cluster built directly (not via :func:`make_cluster`)
+    for artifact harvesting — benchmarks that need constructor knobs
+    ``make_cluster`` does not expose (e.g. spare nodes for elasticity)
+    still contribute counters and critical-path spans this way. Call it
+    after ``boot()``; observability follows the same ``REPRO_BENCH_OBS``
+    switch."""
+    if cluster.obs is None and os.environ.get("REPRO_BENCH_OBS", "1") != "0":
+        cluster.enable_observability()
+    _harvest_last_cluster()
+    _SESSION["last_cluster"] = cluster
+    return cluster
+
+
 def run_once(benchmark, fn):
     """Wrap a whole experiment as a single pytest-benchmark round."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
@@ -206,6 +220,7 @@ def emit_artifact(
 
 
 __all__ = [
+    "adopt_cluster",
     "emit_artifact",
     "info",
     "kops",

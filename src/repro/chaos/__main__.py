@@ -4,7 +4,7 @@ Commands
 --------
 ``list``
     Show the scenario catalog.
-``run <scenario>|all|fast|recovery [--seed N | --seeds N N ...] [--out DIR]``
+``run <scenario>|all|fast|recovery|elastic [--seed N | --seeds N N ...] [--out DIR]``
     Execute scenarios, write verdict artifacts, print a summary; exits
     non-zero if any scenario's verdict is not ``passed``.
 """
@@ -19,6 +19,7 @@ from repro.chaos.runner import run_scenario, write_verdict
 from repro.chaos.scenarios import (
     SCENARIOS,
     all_scenarios,
+    elastic_scenarios,
     fast_scenarios,
     recovery_scenarios,
 )
@@ -33,6 +34,8 @@ def _cmd_list(_args) -> int:
             flags.append("fast")
         if scenario.recovery:
             flags.append("recovery")
+        if scenario.elastic:
+            flags.append("elastic")
         if scenario.expect_violations:
             flags.append("expects-violations")
         suffix = f"  [{', '.join(flags)}]" if flags else ""
@@ -47,10 +50,13 @@ def _resolve(selector: str) -> List[str]:
         return fast_scenarios()
     if selector == "recovery":
         return recovery_scenarios()
+    if selector == "elastic":
+        return elastic_scenarios()
     if selector not in SCENARIOS:
         known = ", ".join(all_scenarios())
         raise SystemExit(
-            f"unknown scenario {selector!r} (known: {known}, all, fast, recovery)"
+            f"unknown scenario {selector!r} "
+            f"(known: {known}, all, fast, recovery, elastic)"
         )
     return [selector]
 
@@ -87,7 +93,8 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="show the scenario catalog")
     run = sub.add_parser("run", help="run scenarios and write verdicts")
-    run.add_argument("scenario", help="scenario name, 'all', 'fast', or 'recovery'")
+    run.add_argument("scenario",
+                     help="scenario name, 'all', 'fast', 'recovery', or 'elastic'")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--seeds", type=int, nargs="+", default=None,
                      help="run each scenario once per seed")

@@ -26,6 +26,7 @@ from typing import Iterable, Optional
 
 from repro.chaos.checkers import CheckResult
 from repro.chaos.history import History
+from repro.obs.registry import MetricsRegistry
 
 
 def recovery_metrics(
@@ -40,22 +41,37 @@ def recovery_metrics(
     ``store.get``); ``enabled`` records whether the resilience layer was
     on for this run (carried into the verdict so degraded baselines are
     self-describing). The dict is JSON-serializable and deterministic.
+
+    Availability is the windowed mean of a per-operation success gauge
+    (1.0 for ``ok``, 0.0 otherwise) sampled at each operation's invoke
+    time and windowed from ``fault_at`` via
+    :meth:`~repro.obs.registry.MetricsRegistry.gauge_window` — the same
+    machinery autoscaling policies use, so there is one windowing
+    implementation to trust.
     """
     kind_set = set(kinds) if kinds is not None else None
-    window = [
-        op for op in history.ops
-        if op.t_invoke >= fault_at
-        and (kind_set is None or op.kind in kind_set)
-    ]
-    ok_ops = [op for op in window if op.status == "ok"]
-    availability = round(len(ok_ops) / len(window), 6) if window else None
-    first_ok = min((op.t_return for op in ok_ops), default=inf)
+    registry = MetricsRegistry()
+    ok_gauge = registry.gauge(
+        "recovery.op_ok", help="1.0 per ok op, 0.0 per failed op, at t_invoke"
+    )
+    first_ok = inf
+    for op in history.ops:  # ops are appended in invoke order: time-sorted
+        if kind_set is not None and op.kind not in kind_set:
+            continue
+        if op.t_invoke < fault_at:
+            continue
+        ok_gauge.record(op.t_invoke, 1.0 if op.status == "ok" else 0.0)
+        if op.status == "ok" and op.t_return < first_ok:
+            first_ok = op.t_return
+    stats = registry.gauge_window("recovery.op_ok", start=fault_at)
+    window_ops = stats["count"]
+    availability = round(stats["mean"], 6) if window_ops else None
     rto = round(first_ok - fault_at, 6) if first_ok != inf else None
     return {
         "enabled": enabled,
         "fault_at_s": round(fault_at, 6),
-        "window_ops": len(window),
-        "window_ok": len(ok_ops),
+        "window_ops": window_ops,
+        "window_ok": int(sum(v for _, v in ok_gauge.samples)),
         "availability": availability,
         "rto_s": rto,
     }

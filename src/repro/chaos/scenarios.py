@@ -13,6 +13,7 @@ flagged by the checkers — they prove the checkers have teeth.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -53,16 +54,21 @@ class Scenario:
     #: measures availability/RTO around a fault, with or without the
     #: resilience layer.
     recovery: bool = False
+    #: Part of the elasticity suite (``python -m repro.chaos run elastic``):
+    #: runs the autoscaler's control loop against faults that overlap its
+    #: scaling decisions.
+    elastic: bool = False
 
 
 SCENARIOS: Dict[str, Scenario] = {}
 
 
 def _scenario(name: str, description: str, expect_violations: bool = False,
-              fast: bool = False, recovery: bool = False):
+              fast: bool = False, recovery: bool = False,
+              elastic: bool = False):
     def deco(fn):
         SCENARIOS[name] = Scenario(name, description, fn, expect_violations,
-                                   fast, recovery)
+                                   fast, recovery, elastic)
         return fn
     return deco
 
@@ -823,12 +829,321 @@ def flaky_links_retry_storm(seed: int) -> ScenarioResult:
     return ScenarioResult(checks, injector.timeline, stats, recovery=metrics)
 
 
+# ----------------------------------------------------------------------
+# Elasticity scenarios: the autoscaler's control loop under faults
+# (repro.elastic)
+# ----------------------------------------------------------------------
+def _register_bulk_fn(cluster: BokiCluster) -> None:
+    """Deploy ``bulk-op``: pure compute holding a worker slot for 10 ms —
+    the load signal the engine autoscaling policy reacts to."""
+    env = cluster.env
+
+    def bulk_op(ctx, arg):
+        yield env.timeout(0.01)
+        return arg
+
+    cluster.register_function("bulk-op", bulk_op)
+
+
+def _merged_timeline(injector: FaultInjector, auto) -> List[dict]:
+    """Fault events and autoscaler decisions in one time-ordered timeline,
+    so a verdict shows scaling interleaved with the faults it rode through."""
+    return sorted(injector.timeline + auto.events, key=lambda e: e["t"])
+
+
+@_scenario(
+    "elastic-scale-in-during-partition",
+    "Light load makes the autoscaler scale the engine and storage fleets "
+    "in while the very nodes it wants to decommission are partitioned "
+    "away; the serialized seal-then-install decommission must preserve "
+    "linearizability, queue no-loss/no-dup, and metalog consistency.",
+    elastic=True,
+)
+def elastic_scale_in_during_partition(seed: int) -> ScenarioResult:
+    from repro.elastic import HysteresisPolicy, PolicyConfig
+
+    cluster = BokiCluster(
+        num_function_nodes=3, num_storage_nodes=4, num_sequencer_nodes=3,
+        workers_per_node=4, seed=seed,
+    )
+    cluster.enable_resilience()
+    auto = cluster.enable_elasticity(
+        interval=0.05,
+        engine_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=1, max_nodes=3, breach_up=2, breach_down=4,
+            cooldown_down=0.5,
+        )),
+        # Slower storage policy: its single 4 -> 3 scale-in lands inside
+        # the partition window.
+        storage_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=3, max_nodes=4, breach_down=10, cooldown_down=1.0,
+        )),
+    )
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    _register_bulk_fn(cluster)
+
+    # The scale-in victims are the highest pool ranks: func-2 first, then
+    # storage-3. Partition exactly those away before the fleet shrinks.
+    part_at, heal_at = 0.4, 2.0
+    victims = ["func-2", "storage-3"]
+    others = sorted(set(cluster.net.nodes) - set(victims))
+    plan = (
+        FaultPlan()
+        .partition_groups(part_at, [victims, others])
+        .heal_all(heal_at)
+    )
+    injector = FaultInjector(env, cluster.net, plan)
+    injector.start()
+
+    # Phase 1 (~0.5 s): mid load keeps utilization in the dead band; then
+    # only a light client remains, so utilization drops under the low
+    # watermark and the fleet shrinks during the partition.
+    def bulk_client(n: int, think: float):
+        for k in range(n):
+            try:
+                yield from cluster.invoke("bulk-op", k)
+            except Exception:
+                pass  # rerouted/timed-out invocations are the light load's risk
+            yield env.timeout(think)
+
+    busy = [env.process(bulk_client(40, 0.002), name=f"elastic-bulk-{i}")
+            for i in range(6)]
+
+    def light_client():
+        while env.now < 2.6:
+            try:
+                yield from cluster.invoke("bulk-op", 0)
+            except Exception:
+                pass
+            yield env.timeout(0.04)
+
+    light = env.process(light_client(), name="elastic-bulk-light")
+
+    # Safety vantage points, both pinned to func-0 (never decommissioned:
+    # pool rank 0 is the last to leave the fleet).
+    store_procs = _store_load(cluster, history, num_clients=3,
+                              ops_per_client=30)
+    engine = cluster.engines["func-0"]
+    queue = BokiQueue(cluster.logbook(2, engine=engine), "elastic-q",
+                      num_shards=2)
+    queue.history = history
+    produced: List[str] = []
+
+    def producer_proc():
+        producer = queue.producer()
+        for i in range(30):
+            value = f"msg-{i:04d}"
+            yield from producer.push(value)
+            produced.append(value)
+            yield env.timeout(0.02)
+
+    popped = {"n": 0}
+
+    def consumer_proc(shard: int, rounds: int):
+        consumer = queue.consumer(shard)
+        for _ in range(rounds):
+            value = yield from consumer.pop_wait(poll_interval=0.01,
+                                                 max_polls=100)
+            if value is None:
+                return
+            popped["n"] += 1
+
+    queue_procs = [
+        env.process(producer_proc(), name="elastic-producer"),
+        env.process(consumer_proc(0, 8), name="elastic-consumer-0"),
+        env.process(consumer_proc(1, 8), name="elastic-consumer-1"),
+    ]
+    _drive_all(cluster, busy + [light] + store_procs + queue_procs,
+               limit=300.0)
+
+    def drain_proc(shard: int):
+        consumer = queue.consumer(shard)  # fresh: rebuilds from the log
+        while True:
+            value = yield from consumer.pop()
+            if value is None:
+                return
+            popped["n"] += 1
+
+    drains = [env.process(drain_proc(s), name=f"elastic-drain-{s}")
+              for s in (0, 1)]
+    _drive_all(cluster, drains, limit=300.0)
+
+    scale_ins = auto.scale_events("scale-in")
+    in_window = [e for e in scale_ins if part_at <= e["t"] <= heal_at]
+    removed_in_window = {n for e in in_window for n in e["removed"]}
+    ops_after = _ok_ops_after(history, heal_at)
+    checks = [
+        check_store_linearizability(history),
+        check_queue_delivery(history, drained=True),
+        check_metalog(cluster),
+        _sanity([
+            (len(injector.timeline) == 2, "partition/heal did not both fire"),
+            (bool(in_window),
+             "no scale-in happened during the partition window"),
+            (set(victims) <= removed_in_window,
+             f"partitioned victims {victims} were not the nodes "
+             f"decommissioned during the partition (got "
+             f"{sorted(removed_in_window)})"),
+            (auto.reconfig_failures == 0,
+             f"{auto.reconfig_failures} scaling reconfigurations failed"),
+            (ops_after > 0, "no operation completed after the heal"),
+            (len(produced) == 30, "producer did not finish"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["final_term"] = cluster.controller.current_term.term_id
+    stats["scale_ins"] = len(scale_ins)
+    stats["scale_ins_during_partition"] = len(in_window)
+    stats["engines_active"] = len(auto.active_engines)
+    stats["storage_active"] = len(auto.active_storage)
+    stats["node_seconds"] = round(auto.node_seconds(), 6)
+    stats["pushed"] = len(produced)
+    stats["popped"] = popped["n"]
+    stats["ops_ok_after_heal"] = ops_after
+    return ScenarioResult(checks, _merged_timeline(injector, auto), stats)
+
+
+@_scenario(
+    "elastic-flash-crowd-primary-crash",
+    "A flash crowd drives the engine fleet from 2 to 4 nodes, then the "
+    "primary sequencer crashes at peak load: the failure detector and the "
+    "autoscaler race the controller through the serialized reconfiguration "
+    "queue, while resilient store clients must keep availability >= 0.9 "
+    "with linearizability and metalog consistency intact.",
+    elastic=True,
+)
+def elastic_flash_crowd_primary_crash(seed: int) -> ScenarioResult:
+    from repro.elastic import HysteresisPolicy, PolicyConfig
+    from repro.workloads.harness import FlashCrowdShape, run_shaped_open_loop
+
+    cluster = BokiCluster(
+        num_function_nodes=2, num_spare_function_nodes=2,
+        num_storage_nodes=3, num_sequencer_nodes=4,
+        workers_per_node=4, seed=seed, use_coord_sessions=True,
+    )
+    cluster.enable_resilience()
+    auto = cluster.enable_elasticity(
+        interval=0.05,
+        engine_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=2, max_nodes=4, breach_up=2, breach_down=4,
+            cooldown_down=1.0,
+        )),
+    )
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    _register_store_fn(cluster)
+    _register_bulk_fn(cluster)
+
+    # store-op is pinned to func-0 (linearizability is per-index, §4.4);
+    # bulk-op round-robins over the autoscaler's ACTIVE fleet.
+    gateway = cluster.gateway
+    target = cluster.function_nodes[0]
+    rr = itertools.count()
+
+    def scheduler(fn_name, book_id):
+        if fn_name == "store-op":
+            return target
+        alive = [f for f in gateway.function_nodes if f.node.alive]
+        if gateway.active_nodes is not None:
+            active = [f for f in alive if f.name in gateway.active_nodes]
+            alive = active or alive
+        return alive[next(rr) % len(alive)]
+
+    gateway.scheduler = scheduler
+
+    initial_term = cluster.controller.current_term.term_id
+    surge_at, crash_at = 0.8, 1.3
+    # Crash the primary ordering the store clients' log *at crash time*:
+    # the flash crowd's scale-out has already rotated the sequencer
+    # assignment by then, so the victim is resolved from the current term
+    # (deterministic — the autoscaler timeline is seed-determined).
+    crashed: Dict[str, object] = {}
+
+    def crash_store_primary():
+        term = cluster.controller.current_term
+        primary = term.assignment(term.log_for_book(1)).primary
+        crashed["primary"] = primary
+        crashed["term"] = term.term_id
+        cluster.net.nodes[primary].crash()
+
+    plan = FaultPlan().call(crash_at, "crash-store-primary",
+                            crash_store_primary)
+    injector = FaultInjector(env, cluster.net, plan)
+    injector.start()
+
+    # Resilient gateway store clients ride through the append stall that
+    # runs from the crash until the next reconfiguration replaces the
+    # dead primary (the autoscaler's post-decay scale-in or the session
+    # failure detector — whichever seals first).
+    store_procs = _gateway_store_clients(cluster, history, num_clients=3,
+                                         ops_per_client=80)
+    # Base fleet (2 engines x 4 workers x 10 ms) saturates at ~800 req/s:
+    # base 350/s sits in the dead band, the 1400/s peak forces 4 nodes.
+    shape = FlashCrowdShape(base_rate=350, peak_rate=1400, surge_at=surge_at,
+                            ramp=0.2, hold=0.8, decay=0.3)
+    result = run_shaped_open_loop(
+        env, lambda i: cluster.invoke("bulk-op", i), shape, duration=2.6,
+        rng=cluster.streams.stream("elastic-flash"),
+    )
+    _drive_all(cluster, store_procs, limit=300.0)
+
+    final_term = cluster.controller.current_term.term_id
+    metrics = recovery_metrics(history, crash_at,
+                               kinds=("store.put", "store.get"),
+                               enabled=True)
+    scale_outs = auto.scale_events("scale-out")
+    reaction = auto.reaction_time(surge_at)
+    peak_fleet = max((len(e["engines"]) for e in scale_outs), default=0)
+    ops_after = _ok_ops_after(history, crash_at)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        check_recovery_slo(metrics, min_availability=0.9),
+        _sanity([
+            (bool(scale_outs), "the flash crowd triggered no scale-out"),
+            (reaction is not None and reaction < 0.5,
+             f"scale-out reaction to the surge was {reaction}"),
+            (peak_fleet > 2, "the engine fleet never grew past its base"),
+            (len(injector.timeline) == 1, "the crash did not fire"),
+            (final_term > initial_term,
+             f"no reconfiguration happened: term stayed {initial_term}"),
+            (ops_after > 0, "no operation completed after the crash"),
+            (cluster.resil.counters["retries"] > 0,
+             "resilience layer never retried through the stall"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["initial_term"] = initial_term
+    stats["final_term"] = final_term
+    stats["bulk_launched"] = result.extra["launched"]
+    stats["bulk_completed"] = result.completed
+    stats["bulk_errors"] = result.errors
+    stats["scale_outs"] = len(scale_outs)
+    stats["scale_ins"] = len(auto.scale_events("scale-in"))
+    stats["peak_engines"] = peak_fleet
+    stats["reaction_time_s"] = (round(reaction, 9)
+                                if reaction is not None else None)
+    stats["node_seconds"] = round(auto.node_seconds(), 6)
+    stats["ops_ok_after_crash"] = ops_after
+    stats["crashed_primary"] = crashed.get("primary")
+    stats["crashed_in_term"] = crashed.get("term")
+    return ScenarioResult(checks, _merged_timeline(injector, auto), stats,
+                          recovery=metrics)
+
+
 def fast_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.fast)
 
 
 def recovery_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.recovery)
+
+
+def elastic_scenarios() -> List[str]:
+    return sorted(name for name, s in SCENARIOS.items() if s.elastic)
 
 
 def all_scenarios() -> List[str]:

@@ -37,6 +37,8 @@ class BokiCluster:
         seed: int = 0,
         workers_per_node: int = 64,
         use_coord_sessions: bool = False,
+        num_spare_function_nodes: int = 0,
+        num_spare_storage_nodes: int = 0,
     ):
         self.config = config or BokiConfig()
         self.config.num_logs = num_logs
@@ -60,7 +62,9 @@ class BokiCluster:
         self.gateway = Gateway(self.env, self.net)
         self.function_nodes: List[FunctionNode] = []
         self.engines: Dict[str, LogBookEngine] = {}
-        for i in range(num_function_nodes):
+        # Spares are fully wired (gateway, controller, sessions) but sit
+        # outside the initial active fleet — the autoscaler's headroom.
+        for i in range(num_function_nodes + num_spare_function_nodes):
             fnode = FunctionNode(
                 self.env, self.net, f"func-{i}", workers=workers_per_node,
                 dispatch_overhead=50e-6,
@@ -75,10 +79,19 @@ class BokiCluster:
         from repro.core.storage import StorageNode
 
         self.storage_nodes: List[StorageNode] = []
-        for i in range(num_storage_nodes):
+        for i in range(num_storage_nodes + num_spare_storage_nodes):
             snode = StorageNode(self.env, self.net, f"storage-{i}", self.config)
             self.storage_nodes.append(snode)
             self.controller.register_component(snode.name, snode, "storage")
+
+        if num_spare_function_nodes:
+            base_engines = [f"func-{i}" for i in range(num_function_nodes)]
+            self.controller.active_engines = base_engines
+            self.gateway.set_active_nodes(base_engines)
+        if num_spare_storage_nodes:
+            self.controller.active_storage = [
+                f"storage-{i}" for i in range(num_storage_nodes)
+            ]
 
         # Sequencer plane.
         from repro.core.sequencer import SequencerNode
@@ -97,6 +110,7 @@ class BokiCluster:
         self._book_rr = itertools.count()
         self.obs = None
         self.resil = None
+        self.elastic = None
 
     # ------------------------------------------------------------------
     # Observability (repro.obs)
@@ -152,6 +166,24 @@ class BokiCluster:
         for engine in self.engines.values():
             engine.resil = resil
         return resil
+
+    # ------------------------------------------------------------------
+    # Elasticity (repro.elastic)
+    # ------------------------------------------------------------------
+    def enable_elasticity(self, start: bool = True, **kwargs):
+        """Attach (and by default start) the load-driven autoscaler; see
+        :class:`~repro.elastic.Autoscaler` for the knobs. Build the
+        cluster with ``num_spare_function_nodes``/``num_spare_storage_nodes``
+        so scale-out has headroom. Returns the autoscaler.
+        """
+        from repro.elastic import Autoscaler
+
+        if self.elastic is not None:
+            return self.elastic
+        self.elastic = Autoscaler(self, **kwargs)
+        if start:
+            self.elastic.start()
+        return self.elastic
 
     def metrics_snapshot(self):
         """Current cluster metrics as a :class:`~repro.obs.MetricsRegistry`

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence
 from repro.coord import CoordClient, WatchEvent
 from repro.core.config import BokiConfig, TermConfig
 from repro.core.placement import build_term
-from repro.sim.kernel import Environment, Interrupt
+from repro.sim.kernel import Environment, Event, Interrupt
 from repro.sim.network import Network, RpcError, RpcTimeout
 from repro.sim.node import Node
 
@@ -36,6 +36,19 @@ CONFIG_PROPAGATION_DELAY = 10e-3
 
 class ReconfigurationFailed(Exception):
     """Could not seal a quorum for some metalog."""
+
+
+class ReconfigurationInProgress(Exception):
+    """A reconfiguration is already executing.
+
+    Seal-then-install must never interleave: two concurrent drivers (the
+    failure detector and the autoscaler) sealing and installing terms
+    against each other would double-seal metalogs and install terms out
+    of order. Callers either drop the request — the failure detector
+    does, because the in-flight reconfiguration already observes current
+    liveness — or queue behind it via
+    :meth:`Controller.reconfigure_serialized`.
+    """
 
 
 class Controller:
@@ -65,6 +78,13 @@ class Controller:
         self.reconfig_count = 0
         self.last_reconfig_duration: Optional[float] = None
         self._reconfiguring = False
+        #: Active fleet subsets (None = every registered node). The
+        #: autoscaler narrows/widens these; terms are built from the
+        #: active fleet so registered-but-decommissioned spares carry no
+        #: shards or replicas.
+        self.active_engines: Optional[List[str]] = None
+        self.active_storage: Optional[List[str]] = None
+        self._reconfig_waiters: List[Event] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -83,6 +103,18 @@ class Controller:
     def live(self, names: Sequence[str]) -> List[str]:
         return [n for n in names if self.components[n].node.alive]
 
+    def engine_fleet(self) -> List[str]:
+        """The engine names terms are currently built from."""
+        if self.active_engines is None:
+            return list(self.engine_names)
+        return [n for n in self.active_engines if n in self.components]
+
+    def storage_fleet(self) -> List[str]:
+        """The storage names terms are currently built from."""
+        if self.active_storage is None:
+            return list(self.storage_names)
+        return [n for n in self.active_storage if n in self.components]
+
     # ------------------------------------------------------------------
     # Bootstrap and term installation
     # ------------------------------------------------------------------
@@ -94,8 +126,8 @@ class Controller:
         term_config = build_term(
             self.config,
             term_id=1,
-            engine_names=self.engine_names,
-            storage_names=self.storage_names,
+            engine_names=self.engine_fleet(),
+            storage_names=self.storage_fleet(),
             sequencer_names=self.sequencer_names[: self.config.nmeta],
             num_logs=num_logs,
             index_engines_per_log=index_engines_per_log,
@@ -129,14 +161,29 @@ class Controller:
         num_logs: Optional[int] = None,
         sequencer_names: Optional[List[str]] = None,
         index_engines_per_log: Optional[int] = None,
+        engine_names: Optional[List[str]] = None,
+        storage_names: Optional[List[str]] = None,
+        minimal_movement: bool = False,
     ) -> Generator:
         """Seal the current term and install the next one.
 
         ``sequencer_names`` selects the next term's sequencer set (the §7.1
         experiment reconfigures to a new set of provisioned sequencers).
+        ``engine_names``/``storage_names`` select the next term's data-plane
+        fleets (scale-out/scale-in); a successful install makes them the
+        active fleets for later failure-driven reconfigurations.
+        ``minimal_movement`` hands the previous term to placement so
+        surviving storage replicas stay put instead of rehashing.
+
+        Raises :class:`ReconfigurationInProgress` when a reconfiguration
+        is already executing — overlapping seal/install protocols must
+        not interleave.
         """
         if self._reconfiguring:
-            return self.current_term
+            raise ReconfigurationInProgress(
+                f"term {self.current_term.term_id if self.current_term else '?'} "
+                "is already being reconfigured"
+            )
         self._reconfiguring = True
         started = self.env.now
         try:
@@ -154,8 +201,12 @@ class Controller:
                 for subscriber in asg.subscribers():
                     self.net.send(self.node, subscriber, "log.sealed", payload)
             # 2. Build and install the next term.
-            engines = self.live(self.engine_names)
-            storage = self.live(self.storage_names)
+            engine_fleet = (engine_names if engine_names is not None
+                            else self.engine_fleet())
+            storage_fleet = (storage_names if storage_names is not None
+                             else self.storage_fleet())
+            engines = self.live(engine_fleet)
+            storage = self.live(storage_fleet)
             seqs = sequencer_names if sequencer_names is not None else self.live(
                 self.sequencer_names
             )
@@ -168,13 +219,38 @@ class Controller:
                 sequencer_names=seqs,
                 num_logs=num_logs if num_logs is not None else len(old.logs),
                 index_engines_per_log=index_engines_per_log,
+                prev=old if minimal_movement else None,
             )
             yield from self._install(new_term)
+            if engine_names is not None:
+                self.active_engines = list(engine_names)
+            if storage_names is not None:
+                self.active_storage = list(storage_names)
             self.reconfig_count += 1
             self.last_reconfig_duration = self.env.now - started
             return new_term
         finally:
             self._reconfiguring = False
+            waiters, self._reconfig_waiters = self._reconfig_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed(None)
+
+    def reconfigure_serialized(self, **kwargs) -> Generator:
+        """Queue behind any in-flight reconfiguration, then reconfigure.
+
+        The serialized fallback for drivers that must not drop their
+        request (the autoscaler's scaling decision stays valid after the
+        failure detector's reconfiguration completes). FIFO wake-up: each
+        waiter re-checks the flag, so concurrent serialized callers run
+        one term apiece in arrival order.
+        """
+        while self._reconfiguring:
+            waiter = Event(self.env)
+            self._reconfig_waiters.append(waiter)
+            yield waiter
+        result = yield from self.reconfigure(**kwargs)
+        return result
 
     def _seal_log(self, term_id: int, log_id: int, asg) -> Generator:
         """Seal one metalog; returns the final length (max over a quorum)."""
@@ -235,6 +311,11 @@ class Controller:
                 in_use.update(asg.shards)
             dead = {n for n in in_use if n in self.components and n not in live}
             if dead:
-                yield from self.reconfigure()
+                try:
+                    yield from self.reconfigure()
+                except ReconfigurationInProgress:
+                    # The in-flight reconfiguration observes current
+                    # liveness; this event is redundant, not lost.
+                    return
         except Interrupt:
             return

@@ -24,8 +24,18 @@ def build_term(
     num_logs: Optional[int] = None,
     index_engines_per_log: Optional[int] = None,
     primary_overrides: Optional[Dict[int, str]] = None,
+    prev: Optional[TermConfig] = None,
 ) -> TermConfig:
-    """Deterministically place ``num_logs`` physical logs on the nodes."""
+    """Deterministically place ``num_logs`` physical logs on the nodes.
+
+    With ``prev`` (the outgoing term), storage replica sets and index
+    engines are carried over with minimal movement instead of rehashed:
+    surviving replicas stay where they are unless their node left the
+    fleet or exceeds the balanced quota (see
+    :mod:`repro.elastic.rebalance`). Fresh terms (``prev=None``) keep the
+    historical hash placement, so failure-driven reconfiguration is
+    byte-identical to earlier releases.
+    """
     num_logs = num_logs if num_logs is not None else config.num_logs
     if num_logs <= 0:
         raise ValueError("need at least one physical log")
@@ -43,11 +53,33 @@ def build_term(
         4, len(engine_names)
     )
 
+    rebalanced: Optional[Dict[object, List[str]]] = None
+    if prev is not None:
+        # Local import: repro.elastic layers *above* repro.core; only this
+        # opt-in path reaches down into the rebalancer.
+        from repro.elastic.rebalance import rebalance_replicas
+
+        slot_list = [
+            (log_id, shard)
+            for log_id in range(num_logs)
+            for shard in engine_names
+        ]
+        old_replicas: Dict[object, List[str]] = {}
+        for log_id, asg in prev.logs.items():
+            for shard, replica_set in asg.shard_storage.items():
+                old_replicas[(log_id, shard)] = list(replica_set)
+        rebalanced = rebalance_replicas(
+            slot_list, old_replicas, list(storage_names), config.ndata
+        )
+
     logs: Dict[int, LogAssignment] = {}
     for log_id in range(num_logs):
         shards = list(engine_names)
         shard_storage: Dict[str, List[str]] = {}
         for shard in shards:
+            if rebalanced is not None:
+                shard_storage[shard] = list(rebalanced[(log_id, shard)])
+                continue
             start = stable_hash((term_id, log_id, shard), salt="placement") % len(storage_names)
             shard_storage[shard] = [
                 storage_names[(start + i) % len(storage_names)] for i in range(config.ndata)
@@ -66,6 +98,18 @@ def build_term(
         index_engines = [
             engine_names[(idx_start + i) % len(engine_names)] for i in range(per_log_index)
         ]
+        if prev is not None and log_id in prev.logs:
+            # Index bootstrap is a full historical replay — keep surviving
+            # index engines in place and only top up from the rotation.
+            surviving = [
+                e for e in prev.logs[log_id].index_engines if e in shards
+            ]
+            for candidate in index_engines:
+                if len(surviving) >= per_log_index:
+                    break
+                if candidate not in surviving:
+                    surviving.append(candidate)
+            index_engines = surviving[:per_log_index] or index_engines
         logs[log_id] = LogAssignment(
             log_id=log_id,
             shards=shards,

@@ -1,0 +1,134 @@
+"""EWMA + hysteresis scaling policy.
+
+The policy is a pure state machine over (time, utilization, fleet size):
+no simulation events, no randomness — same inputs, same decisions, so
+autoscaled same-seed runs stay byte-identical.
+
+Flap protection is layered three ways:
+
+1. **EWMA smoothing** (``alpha``) filters single-sample spikes.
+2. **Consecutive-breach hysteresis**: the smoothed signal must sit above
+   ``high_watermark`` for ``breach_up`` consecutive samples (or below
+   ``low_watermark`` for ``breach_down``) before anything happens.
+   Crossing back into the dead band resets both counters.
+3. **Asymmetric cooldowns**: after any fleet change, scale-out is
+   blocked for ``cooldown_up`` seconds and scale-in for the (longer)
+   ``cooldown_down`` — growing is cheap and urgent, shrinking is
+   neither.
+
+Scale-out sizes the jump proportionally (``ceil(current * smoothed /
+target)`` where target is the middle of the dead band) so a flash crowd
+is absorbed in one reconfiguration instead of a staircase; scale-in
+always steps down one node at a time, because each removal narrows the
+failure-tolerance margin and must be re-observed before the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, inf
+from typing import Optional
+
+
+class Ewma:
+    """Exponentially weighted moving average; seeded by the first sample."""
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value
+        return self.value
+
+
+@dataclass
+class PolicyConfig:
+    """Knobs for one fleet's :class:`HysteresisPolicy` (defaults in
+    ``docs/elasticity.md``)."""
+
+    high_watermark: float = 0.75
+    low_watermark: float = 0.30
+    alpha: float = 0.5
+    breach_up: int = 2
+    breach_down: int = 4
+    cooldown_up: float = 0.25
+    cooldown_down: float = 1.0
+    min_nodes: int = 1
+    max_nodes: Optional[int] = None
+    #: Proportional scale-out toward the dead-band midpoint; False steps
+    #: up one node at a time.
+    proportional_up: bool = True
+
+    def __post_init__(self):
+        if not self.low_watermark < self.high_watermark:
+            raise ValueError("low_watermark must be below high_watermark")
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be >= 1")
+        if self.max_nodes is not None and self.max_nodes < self.min_nodes:
+            raise ValueError("max_nodes must be >= min_nodes")
+
+
+class HysteresisPolicy:
+    """Turns a utilization stream into fleet-size deltas."""
+
+    def __init__(self, config: Optional[PolicyConfig] = None):
+        self.config = config or PolicyConfig()
+        self.ewma = Ewma(self.config.alpha)
+        self.up_breaches = 0
+        self.down_breaches = 0
+        self.last_change: float = -inf
+        self.decisions = 0
+
+    @property
+    def smoothed(self) -> Optional[float]:
+        return self.ewma.value
+
+    def observe(self, now: float, utilization: float, current_nodes: int) -> int:
+        """Feed one sample; returns the desired fleet-size delta
+        (positive: scale out, negative: scale in, 0: hold)."""
+        cfg = self.config
+        smoothed = self.ewma.update(utilization)
+        self.decisions += 1
+        if smoothed > cfg.high_watermark:
+            self.up_breaches += 1
+            self.down_breaches = 0
+        elif smoothed < cfg.low_watermark:
+            self.down_breaches += 1
+            self.up_breaches = 0
+        else:
+            self.up_breaches = 0
+            self.down_breaches = 0
+
+        ceiling = cfg.max_nodes if cfg.max_nodes is not None else current_nodes
+        if (self.up_breaches >= cfg.breach_up
+                and now - self.last_change >= cfg.cooldown_up
+                and current_nodes < ceiling):
+            if cfg.proportional_up:
+                target = (cfg.high_watermark + cfg.low_watermark) / 2.0
+                desired = ceil(current_nodes * smoothed / target)
+            else:
+                desired = current_nodes + 1
+            desired = max(current_nodes + 1, desired)
+            desired = min(desired, ceiling)
+            return desired - current_nodes
+
+        if (self.down_breaches >= cfg.breach_down
+                and now - self.last_change >= cfg.cooldown_down
+                and current_nodes > cfg.min_nodes):
+            return -1
+        return 0
+
+    def record_change(self, now: float) -> None:
+        """Mark a fleet change (ours or anyone's): restart cooldowns and
+        require fresh breach streaks against the new fleet size."""
+        self.last_change = now
+        self.up_breaches = 0
+        self.down_breaches = 0

@@ -1,0 +1,132 @@
+"""Minimal-movement replica rebalancing for log-space placement.
+
+When the storage fleet grows or shrinks, rehashing every ``(log, shard)``
+replica set (the ``stable_hash`` placement :func:`repro.core.placement.
+build_term` uses for fresh terms) would move almost every replica — each
+move is a full shard copy. This module recomputes placement so that:
+
+- every slot keeps ``replicas`` distinct nodes (capped at the fleet size),
+- load stays balanced within the ceiling quota
+  ``ceil(total_replica_slots / len(nodes))`` plus a slack of at most
+  ``replicas - 1`` (within-slot distinctness can force an already-full
+  node to take a replica when every under-quota node holds the slot —
+  only possible when the fleet barely exceeds the replication factor),
+- a surviving replica moves **only** when its node left the fleet or the
+  node is over quota in the new fleet.
+
+The greedy two-pass assignment (retain survivors under quota, then fill
+gaps from the least-loaded node) achieves exactly the lower bound
+:func:`optimal_moves` computes; the property tests assert
+``moved <= optimal + 1`` across randomized fleet transitions. Everything
+is pure and deterministic: dict/iteration order follows the caller's slot
+and fleet ordering, ties break by fleet position.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+Slot = Hashable
+
+
+def replica_quota(num_slots: int, num_nodes: int, replicas: int) -> int:
+    """Ceiling quota of replica assignments per node for a balanced fleet."""
+    if num_nodes <= 0:
+        raise ValueError("need at least one node")
+    total = num_slots * min(replicas, num_nodes)
+    return ceil(total / num_nodes) if total else 0
+
+
+def rebalance_replicas(
+    slots: Sequence[Slot],
+    old: Mapping[Slot, Sequence[str]],
+    nodes: Sequence[str],
+    replicas: int,
+) -> Dict[Slot, List[str]]:
+    """Assign ``replicas`` distinct nodes to every slot, moving as few
+    surviving replicas as possible.
+
+    ``slots`` orders the assignment (deterministic); ``old`` maps slots to
+    their previous replica lists (slots absent from ``old`` are new and
+    place greedily); ``nodes`` is the new fleet in priority order.
+    """
+    if not nodes:
+        raise ValueError("need at least one node")
+    node_set = set(nodes)
+    if len(node_set) != len(nodes):
+        raise ValueError("duplicate node names in fleet")
+    want = min(replicas, len(nodes))
+    quota = replica_quota(len(slots), len(nodes), replicas)
+    rank = {name: i for i, name in enumerate(nodes)}
+    load: Dict[str, int] = {name: 0 for name in nodes}
+
+    # Pass 1: retain surviving replicas while their node is under quota.
+    assignment: Dict[Slot, List[str]] = {}
+    for slot in slots:
+        keep: List[str] = []
+        for name in old.get(slot, ()):
+            if (name in node_set and name not in keep
+                    and load[name] < quota and len(keep) < want):
+                keep.append(name)
+                load[name] += 1
+        assignment[slot] = keep
+
+    # Pass 2: fill the gaps from the least-loaded nodes (ties by fleet
+    # position). Distinctness within a slot can push a node past quota
+    # only when every under-quota node already holds this slot.
+    for slot in slots:
+        current = assignment[slot]
+        while len(current) < want:
+            chosen = min(
+                (name for name in nodes if name not in current),
+                key=lambda name: (load[name], rank[name]),
+            )
+            current.append(chosen)
+            load[chosen] += 1
+    return assignment
+
+
+def count_moves(
+    old: Mapping[Slot, Sequence[str]],
+    new: Mapping[Slot, Sequence[str]],
+) -> int:
+    """Replica copies the transition costs: assignments in ``new`` whose
+    node did not already hold that slot. Slots absent from ``old`` are new
+    data (unavoidable placement, not movement) and cost nothing."""
+    moves = 0
+    for slot, replicas in new.items():
+        if slot not in old:
+            continue
+        prior = set(old[slot])
+        moves += sum(1 for name in replicas if name not in prior)
+    return moves
+
+
+def optimal_moves(
+    slots: Sequence[Slot],
+    old: Mapping[Slot, Sequence[str]],
+    nodes: Sequence[str],
+    replicas: int,
+) -> int:
+    """Lower bound on replica moves for any balanced assignment.
+
+    Two unavoidable costs: replicas whose node left the fleet must be
+    re-replicated somewhere, and surviving nodes holding more than the
+    ceiling quota must shed the excess. (Slots missing from ``old`` are
+    new and free, matching :func:`count_moves`.)
+    """
+    node_set = set(nodes)
+    want = min(replicas, len(nodes))
+    quota = replica_quota(len(slots), len(nodes), replicas)
+    dead = 0
+    surviving_load: Dict[str, int] = {name: 0 for name in nodes}
+    for slot in slots:
+        prior = list(dict.fromkeys(old.get(slot, ())))[:want]
+        for name in prior:
+            if name in node_set:
+                surviving_load[name] += 1
+            else:
+                dead += 1
+    over = sum(max(0, held - quota) for held in surviving_load.values())
+    return dead + over

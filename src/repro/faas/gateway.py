@@ -72,6 +72,9 @@ class Gateway:
         self._invocation_ids = itertools.count(1)
         #: Optional scheduler override: f(fn_name, book_id) -> FunctionNode.
         self.scheduler: Optional[Callable[[str, Optional[int]], FunctionNode]] = None
+        #: Optional active-fleet filter (set by the autoscaler): only
+        #: these node names receive new invocations. None = every node.
+        self.active_nodes: Optional[frozenset] = None
         self.obs = DISABLED
         #: Resilience hub + invoke policy (set by enable_resilience); None
         #: keeps the fail-fast single-attempt behavior.
@@ -125,9 +128,20 @@ class Gateway:
         alive = [f for f in self.function_nodes if f.node.alive]
         if not alive:
             raise NoLiveNodesError("no live function nodes")
+        if self.active_nodes is not None:
+            # Decommissioned/spare nodes take no new work; if the whole
+            # active fleet is down, degrade to any live node rather than
+            # fail the invocation.
+            active = [f for f in alive if f.name in self.active_nodes]
+            alive = active or alive
         preferred = [f for f in alive if f.name not in exclude]
         pool = preferred or alive
         return pool[next(self._rr) % len(pool)]
+
+    def set_active_nodes(self, names) -> None:
+        """Restrict scheduling to ``names`` (the autoscaler's active
+        engine fleet); ``None`` restores scheduling over every node."""
+        self.active_nodes = None if names is None else frozenset(names)
 
     # ------------------------------------------------------------------
     # Invocation paths

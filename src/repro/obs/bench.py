@@ -48,6 +48,7 @@ REMOVED = "removed"
 FAST_SUBSET = (
     "benchmarks/test_table3_read_latency.py",
     "benchmarks/test_fig11c_primitives.py",
+    "benchmarks/test_elasticity_autoscale.py",
 )
 
 DEFAULT_ARTIFACT_DIR = "bench/artifacts"

@@ -9,17 +9,23 @@ Two generator shapes, matching how the paper runs its experiments:
   measured as a function of load (the latency-vs-throughput curves of
   Figure 11).
 
-Both warm up before measuring and return a :class:`RunResult`.
+Plus the elasticity additions: *shaped* open-loop arrivals whose rate
+varies over virtual time (:class:`DiurnalShape`, :class:`FlashCrowdShape`,
+driven by :func:`run_shaped_open_loop` via Lewis–Shedler thinning) and a
+YCSB-style :class:`ZipfianSampler` for hot-key skew.
+
+All generators warm up before measuring and return a :class:`RunResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import cos, pi
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.obs.trace import STATUS_ERROR, STATUS_OK
 from repro.sim.kernel import Environment, Interrupt
-from repro.sim.metrics import LatencyRecorder
+from repro.sim.metrics import LatencyRecorder, TimeSeries
 
 
 @dataclass
@@ -191,6 +197,215 @@ def run_open_loop(
     # Let stragglers finish (up to a grace period) so tail latencies count.
     env.run(until=env.now + 0.5)
     extra: Dict[str, Any] = {"offered": rate, "launched": state["launched"]}
+    if tracer is not None:
+        extra["request_traces"] = request_traces
+    return RunResult(
+        completed=state["completed"],
+        duration=duration,
+        latencies=latencies,
+        errors=state["errors"],
+        extra=extra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Time-varying traffic shapes (elasticity workloads)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DiurnalShape:
+    """A smooth day/night cycle: the offered rate swings sinusoidally
+    between ``base_rate`` (the trough, at ``t=phase``) and ``peak_rate``
+    once per ``period`` seconds of virtual time."""
+
+    base_rate: float
+    peak_rate: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self):
+        if self.base_rate < 0 or self.peak_rate < self.base_rate:
+            raise ValueError("need 0 <= base_rate <= peak_rate")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def max_rate(self) -> float:
+        return self.peak_rate
+
+    def rate_at(self, t: float) -> float:
+        swing = 0.5 * (1.0 - cos(2.0 * pi * (t - self.phase) / self.period))
+        return self.base_rate + (self.peak_rate - self.base_rate) * swing
+
+
+@dataclass
+class FlashCrowdShape:
+    """A flash crowd: steady ``base_rate``, then a linear ramp to
+    ``peak_rate`` starting at ``surge_at`` over ``ramp`` seconds, held
+    for ``hold`` seconds, decaying back linearly over ``decay``."""
+
+    base_rate: float
+    peak_rate: float
+    surge_at: float
+    ramp: float = 0.2
+    hold: float = 0.5
+    decay: float = 0.3
+
+    def __post_init__(self):
+        if self.base_rate < 0 or self.peak_rate < self.base_rate:
+            raise ValueError("need 0 <= base_rate <= peak_rate")
+        if min(self.ramp, self.hold, self.decay) < 0:
+            raise ValueError("ramp/hold/decay must be >= 0")
+
+    @property
+    def max_rate(self) -> float:
+        return self.peak_rate
+
+    def rate_at(self, t: float) -> float:
+        start, peak = self.surge_at, self.peak_rate - self.base_rate
+        if t < start or peak <= 0:
+            return self.base_rate
+        t -= start
+        if t < self.ramp:
+            return self.base_rate + peak * (t / self.ramp)
+        t -= self.ramp
+        if t < self.hold:
+            return self.peak_rate
+        t -= self.hold
+        if t < self.decay:
+            return self.peak_rate - peak * (t / self.decay)
+        return self.base_rate
+
+
+class ZipfianSampler:
+    """YCSB-style Zipfian key sampler over ``[0, n)``: key 0 is the
+    hottest, with skew ``theta`` (0.99 in YCSB's default hot-key mix).
+
+    Uses Gray's rejection-free inverse-CDF approximation (the YCSB
+    ``ZipfianGenerator``); deterministic given the caller's ``rng``.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99):
+        if n < 1:
+            raise ValueError("need at least one key")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._zetan = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        zeta2 = sum(1.0 / (i ** theta) for i in range(1, min(n, 2) + 1))
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = ((1.0 - (2.0 / n) ** (1.0 - theta))
+                     / (1.0 - zeta2 / self._zetan)) if n > 1 else 0.0
+
+    def sample(self, rng) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * ((self._eta * u - self._eta + 1.0) ** self._alpha))
+
+
+def run_shaped_open_loop(
+    env: Environment,
+    make_op: Callable[[int], Generator],
+    shape,
+    duration: float,
+    rng,
+    warmup: float = 0.0,
+    max_in_flight: int = 10_000,
+    obs=None,
+) -> RunResult:
+    """Open-loop arrivals whose instantaneous rate follows
+    ``shape.rate_at(t - t0)`` (t0 = measurement start, after warmup).
+
+    Arrivals come from Lewis–Shedler thinning of a homogeneous Poisson
+    process at ``shape.max_rate``: candidate gaps are exponential at the
+    peak rate and each candidate is accepted with probability
+    ``rate_at/max_rate`` — exact for any bounded rate function, and
+    deterministic given ``rng``.
+
+    Beyond the usual fields, ``result.extra`` carries the elasticity
+    benchmark's raw material: ``latency_series`` (a
+    :class:`~repro.sim.metrics.TimeSeries` of per-request latency at
+    completion time, relative to t0) and ``offered_series`` (arrivals
+    per second in 0.1 s buckets, relative to t0).
+    """
+    max_rate = shape.max_rate
+    if max_rate <= 0:
+        raise ValueError("shape must have a positive max_rate")
+    latencies = LatencyRecorder("shaped-open-loop")
+    latency_series = TimeSeries("latency")
+    bucket = 0.1
+    arrivals_per_bucket: Dict[int, int] = {}
+    state = {"completed": 0, "errors": 0, "in_flight": 0, "launched": 0}
+    tracer = obs.tracer if obs is not None and obs.enabled else None
+    request_traces: List[Tuple[float, int]] = []
+    t0 = env.now + warmup
+    t_end = t0 + duration
+
+    def one_request(i: int) -> Generator:
+        started = env.now
+        state["in_flight"] += 1
+        span = None
+        if tracer is not None:
+            span = tracer.start_trace(
+                "request", node="client", kind="client", attrs={"request": i}
+            )
+            tracer.set_process_context(span.context)
+        try:
+            yield env.process(make_op(i), name=f"req-{i}")
+        except Exception:  # noqa: BLE001 - workload op failed
+            state["errors"] += 1
+            if span is not None:
+                span.finish(STATUS_ERROR)
+            return
+        finally:
+            state["in_flight"] -= 1
+        finished = env.now
+        if span is not None:
+            span.finish(STATUS_OK)
+        if t0 <= finished <= t_end + 0.5:
+            latency = finished - started
+            latencies.record(latency)
+            latency_series.add(finished - t0, latency)
+            state["completed"] += 1
+            if span is not None:
+                request_traces.append((latency, span.context.trace_id))
+
+    def arrival_process() -> Generator:
+        i = 0
+        while env.now < t_end:
+            yield env.timeout(rng.expovariate(max_rate))
+            if env.now >= t_end:
+                break
+            t_rel = env.now - t0
+            rate = shape.rate_at(t_rel) if t_rel >= 0 else shape.rate_at(0.0)
+            if rng.random() * max_rate > rate:
+                continue  # thinned: the candidate arrival never happens
+            if state["in_flight"] < max_in_flight:
+                env.process(one_request(i), name=f"arrival-{i}")
+                state["launched"] += 1
+                if t_rel >= 0:
+                    arrivals_per_bucket[int(t_rel / bucket)] = (
+                        arrivals_per_bucket.get(int(t_rel / bucket), 0) + 1
+                    )
+            i += 1
+
+    arrivals = env.process(arrival_process(), name="shaped-arrivals")
+    env.run_until(arrivals, limit=env.now + (warmup + duration) * 50 + 120.0)
+    env.run(until=env.now + 0.5)  # stragglers: tail latencies count
+    offered_series = TimeSeries("offered")
+    for idx in sorted(arrivals_per_bucket):
+        offered_series.add(idx * bucket, arrivals_per_bucket[idx] / bucket)
+    extra: Dict[str, Any] = {
+        "launched": state["launched"],
+        "latency_series": latency_series,
+        "offered_series": offered_series,
+        "shape": type(shape).__name__,
+    }
     if tracer is not None:
         extra["request_traces"] = request_traces
     return RunResult(

@@ -1,0 +1,108 @@
+"""Overlapping reconfigurations: typed rejection + the serialized queue.
+
+Two drivers can now race the controller (the failure detector and the
+autoscaler). A second ``reconfigure`` while one is executing must fail
+fast with ``ReconfigurationInProgress`` — never interleave seal/install —
+and ``reconfigure_serialized`` must instead queue and run after."""
+
+import pytest
+
+from repro.core.cluster import BokiCluster
+from repro.core.controller import ReconfigurationInProgress
+
+
+def _cluster():
+    cluster = BokiCluster(num_function_nodes=2, num_storage_nodes=3,
+                          num_sequencer_nodes=3, seed=3)
+    cluster.boot()
+    return cluster
+
+
+def test_overlapping_reconfigure_raises_typed_error():
+    cluster = _cluster()
+    env = cluster.env
+    controller = cluster.controller
+    outcome = {}
+
+    def first():
+        outcome["first"] = yield from controller.reconfigure()
+
+    def second():
+        try:
+            yield from controller.reconfigure()
+        except ReconfigurationInProgress as exc:
+            outcome["second"] = exc
+
+    p1 = env.process(first())
+    p2 = env.process(second())
+    env.run_until(p1, limit=30)
+    env.run_until(p2, limit=30)
+    assert outcome["first"].term_id == 2
+    assert isinstance(outcome["second"], ReconfigurationInProgress)
+    assert controller.current_term.term_id == 2, "loser must not install a term"
+
+
+def test_serialized_reconfigure_queues_behind_inflight():
+    cluster = _cluster()
+    env = cluster.env
+    controller = cluster.controller
+    terms = []
+
+    def direct():
+        term = yield from controller.reconfigure()
+        terms.append(("direct", term.term_id))
+
+    def queued(tag):
+        term = yield from controller.reconfigure_serialized()
+        terms.append((tag, term.term_id))
+
+    env.process(direct())
+    pa = env.process(queued("a"))
+    pb = env.process(queued("b"))
+    env.run_until(pa, limit=60)
+    env.run_until(pb, limit=60)
+    # One term per caller, FIFO: direct -> a -> b.
+    assert terms == [("direct", 2), ("a", 3), ("b", 4)]
+    assert controller.reconfig_count == 3
+
+
+def test_serialized_reconfigure_runs_immediately_when_idle():
+    cluster = _cluster()
+    term = cluster.drive(cluster.controller.reconfigure_serialized())
+    assert term.term_id == 2
+
+
+def test_fleet_params_update_active_fleets():
+    cluster = _cluster()
+    controller = cluster.controller
+    term = cluster.drive(controller.reconfigure(engine_names=["func-0"]))
+    assert controller.active_engines == ["func-0"]
+    assert controller.active_storage is None  # untouched
+    for asg in term.logs.values():
+        assert asg.shards == ["func-0"]
+    # Failure-driven reconfigurations keep the narrowed fleet.
+    term = cluster.drive(controller.reconfigure())
+    for asg in term.logs.values():
+        assert asg.shards == ["func-0"]
+
+
+def test_minimal_movement_keeps_surviving_replicas():
+    cluster = BokiCluster(num_function_nodes=2, num_storage_nodes=3,
+                          num_spare_storage_nodes=2, seed=3)
+    cluster.boot()
+    controller = cluster.controller
+    old = controller.current_term
+    new = cluster.drive(controller.reconfigure(
+        storage_names=[f"storage-{i}" for i in range(4)],
+        minimal_movement=True,
+    ))
+    moved = kept = 0
+    for log_id, asg in new.logs.items():
+        for shard, replicas in asg.shard_storage.items():
+            prior = set(old.logs[log_id].shard_storage[shard])
+            for name in replicas:
+                if name in prior:
+                    kept += 1
+                else:
+                    moved += 1
+    assert kept > moved, "minimal movement must keep most replicas in place"

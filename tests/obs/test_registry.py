@@ -114,3 +114,65 @@ def test_cluster_metrics_snapshot_uses_obs_registry():
     reg = cluster.metrics_snapshot()
     assert reg is obs.metrics  # live registry reused, not a copy
     assert reg.value("cluster.virtual_time") == cluster.env.now
+
+
+# ---------------------------------------------------------------------------
+# Windowed gauges (gauge_window)
+# ---------------------------------------------------------------------------
+
+def test_gauge_record_keeps_timestamped_samples():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("util")
+    gauge.record(0.0, 0.2)
+    gauge.record(1.0, 0.8)
+    assert gauge.value == 0.8  # record also sets the scalar
+    assert gauge.samples == [(0.0, 0.2), (1.0, 0.8)]
+
+
+def test_gauge_record_rejects_time_travel():
+    gauge = Gauge("util")
+    gauge.record(2.0, 1.0)
+    with pytest.raises(ValueError):
+        gauge.record(1.0, 1.0)
+
+
+def test_gauge_window_lookback_duration():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("depth")
+    for t in range(10):
+        gauge.record(float(t), float(t))
+    stats = reg.gauge_window("depth", window=3.0)
+    # end defaults to the last sample (t=9): window covers t in [6, 9].
+    assert stats["count"] == 4
+    assert stats["mean"] == pytest.approx(7.5)
+    assert stats["max"] == 9.0
+    assert stats["min"] == 6.0
+    assert stats["last"] == 9.0
+
+
+def test_gauge_window_explicit_bounds():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("depth")
+    for t in range(10):
+        gauge.record(float(t), float(t) * 2)
+    stats = reg.gauge_window("depth", start=2.0, end=4.0)
+    assert stats["count"] == 3  # bounds are inclusive
+    assert stats["mean"] == pytest.approx(6.0)
+    # start combined with window: the later bound wins.
+    stats = reg.gauge_window("depth", window=100.0, start=8.0)
+    assert stats["count"] == 2
+
+
+def test_gauge_window_empty_selection():
+    reg = MetricsRegistry()
+    reg.gauge("depth").record(1.0, 5.0)
+    stats = reg.gauge_window("depth", start=2.0)
+    assert stats == {"count": 0, "mean": None, "max": None,
+                     "min": None, "last": None}
+
+
+def test_gauge_window_requires_a_gauge():
+    reg = MetricsRegistry()
+    reg.counter("reqs")
+    with pytest.raises(TypeError):
+        reg.gauge_window("reqs")
