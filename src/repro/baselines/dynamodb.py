@@ -81,6 +81,9 @@ class DynamoDBService:
         #: twice here means a duplicated side effect (exactly-once
         #: violation); the chaos checkers audit this list.
         self.effect_log: list = []
+        #: Optional repro.monitor hub; applied effects feed the online
+        #: exactly-once monitor as they happen.
+        self.monitor = None
         self.node.handle("ddb.get", self._h_get)
         self.node.handle("ddb.put", self._h_put)
         self.node.handle("ddb.update", self._h_update)
@@ -121,6 +124,10 @@ class DynamoDBService:
             raise ConditionFailedError(payload["key"])
         if payload.get("effect_id") is not None:
             self.effect_log.append((payload["effect_id"], payload["table"], payload["key"]))
+            if self.monitor is not None:
+                self.monitor.on_effect(
+                    payload["effect_id"], payload["table"], payload["key"]
+                )
         if item is None:
             item = table[payload["key"]] = {}
         for name, value in payload.get("set", {}).items():

@@ -6,7 +6,10 @@ Commands
     Show the scenario catalog.
 ``run <scenario>|all|fast|recovery|elastic [--seed N | --seeds N N ...] [--out DIR]``
     Execute scenarios, write verdict artifacts, print a summary; exits
-    non-zero if any scenario's verdict is not ``passed``.
+    non-zero if any scenario's verdict is not ``passed`` or its online
+    monitors disagree. ``--no-monitors`` disables the online monitors;
+    ``--flight-dir DIR`` writes flight-recorder snapshots (one
+    ``repro.monitor/1`` JSON per fired alert).
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ import argparse
 import sys
 from typing import List
 
-from repro.chaos.runner import run_scenario, write_verdict
+from repro.chaos.runner import run_scenario, write_flight_records, write_verdict
 from repro.chaos.scenarios import (
     SCENARIOS,
     all_scenarios,
@@ -61,13 +64,27 @@ def _resolve(selector: str) -> List[str]:
     return [selector]
 
 
+def _online_line(doc) -> str:
+    """One-line online-monitor summary for the run log."""
+    online = doc["online"]
+    if not online["enabled"]:
+        return "online: disabled"
+    alerts = online.get("alerts") or []
+    failed = [c["name"] for c in online["checks"] if not c["ok"]]
+    verdict = "ok" if online["passed"] else "FAIL " + ",".join(failed)
+    return (
+        f"online: {verdict} "
+        f"({online['events_seen']} events, {len(alerts)} alert(s))"
+    )
+
+
 def _cmd_run(args) -> int:
     names = _resolve(args.scenario)
     seeds = args.seeds if args.seeds is not None else [args.seed]
     failures = 0
     for name in names:
         for seed in seeds:
-            doc = run_scenario(name, seed=seed)
+            doc = run_scenario(name, seed=seed, monitors=not args.no_monitors)
             path = write_verdict(doc, directory=args.out)
             status = "PASS" if doc["passed"] else "FAIL"
             detail = ""
@@ -76,6 +93,22 @@ def _cmd_run(args) -> int:
             elif doc["violations"]:
                 detail = f" ({doc['violations']} violations)"
             print(f"[{status}] {name} seed={seed}{detail} -> {path}")
+            online = doc["online"]
+            if online["enabled"]:
+                print(f"    {_online_line(doc)}")
+                # A failing online verdict on a scenario that does not
+                # expect violations is a disagreement with the offline
+                # checkers — fail the run loudly rather than silently.
+                if not online["passed"] and not doc["expect_violations"]:
+                    failures += 1
+                    for check in online["checks"]:
+                        for violation in check["violations"]:
+                            print(f"    online {check['name']}: {violation}")
+                if args.flight_dir:
+                    for fpath in write_flight_records(
+                        name, seed, directory=args.flight_dir
+                    ):
+                        print(f"    flight record -> {fpath}")
             if not doc["passed"]:
                 failures += 1
                 for check in doc["checks"]:
@@ -100,6 +133,10 @@ def main(argv=None) -> int:
                      help="run each scenario once per seed")
     run.add_argument("--out", default=None,
                      help="verdict directory (default bench/chaos or $REPRO_CHAOS_DIR)")
+    run.add_argument("--no-monitors", action="store_true",
+                     help="disable the online invariant monitors (repro.monitor)")
+    run.add_argument("--flight-dir", default=None, metavar="DIR",
+                     help="write flight-recorder snapshots (repro.monitor/1) here")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

@@ -108,6 +108,9 @@ class FaultInjector:
         #: action, arguments) — embedded in verdict artifacts so the fault
         #: timeline itself is part of the determinism guarantee.
         self.timeline: List[dict] = []
+        #: Optional repro.monitor hub; applied faults land in the flight
+        #: recorder's ring so black-box dumps show cause next to effect.
+        self.monitor = None
         self.proc = None
 
     def start(self):
@@ -149,7 +152,10 @@ class FaultInjector:
             args[1]()
         else:
             raise ValueError(f"unknown fault action {action!r}")
-        self.timeline.append(self._timeline_entry(event))
+        entry = self._timeline_entry(event)
+        self.timeline.append(entry)
+        if self.monitor is not None:
+            self.monitor.on_fault(entry)
 
     def _timeline_entry(self, event: FaultEvent) -> dict:
         if event.action == "call":

@@ -21,12 +21,11 @@ verdicts next to the safety checkers.
 
 from __future__ import annotations
 
-from math import inf
 from typing import Iterable, Optional
 
 from repro.chaos.checkers import CheckResult
 from repro.chaos.history import History
-from repro.obs.registry import MetricsRegistry
+from repro.obs.monitor import SuccessWindow
 
 
 def recovery_metrics(
@@ -42,38 +41,35 @@ def recovery_metrics(
     on for this run (carried into the verdict so degraded baselines are
     self-describing). The dict is JSON-serializable and deterministic.
 
-    Availability is the windowed mean of a per-operation success gauge
-    (1.0 for ``ok``, 0.0 otherwise) sampled at each operation's invoke
-    time and windowed from ``fault_at`` via
-    :meth:`~repro.obs.registry.MetricsRegistry.gauge_window` — the same
-    machinery autoscaling policies use, so there is one windowing
-    implementation to trust.
+    Availability is computed on a
+    :class:`~repro.obs.monitor.SuccessWindow` — the same incremental
+    windowed success counter behind the online availability monitor and
+    its burn-rate rules — fed one sample per operation at its invoke
+    time, so online and offline availability share one windowing
+    implementation instead of recomputing from raw samples here.
     """
     kind_set = set(kinds) if kinds is not None else None
-    registry = MetricsRegistry()
-    ok_gauge = registry.gauge(
-        "recovery.op_ok", help="1.0 per ok op, 0.0 per failed op, at t_invoke"
-    )
-    first_ok = inf
+    window = SuccessWindow()
     for op in history.ops:  # ops are appended in invoke order: time-sorted
         if kind_set is not None and op.kind not in kind_set:
             continue
         if op.t_invoke < fault_at:
             continue
-        ok_gauge.record(op.t_invoke, 1.0 if op.status == "ok" else 0.0)
-        if op.status == "ok" and op.t_return < first_ok:
-            first_ok = op.t_return
-    stats = registry.gauge_window("recovery.op_ok", start=fault_at)
-    window_ops = stats["count"]
-    availability = round(stats["mean"], 6) if window_ops else None
-    rto = round(first_ok - fault_at, 6) if first_ok != inf else None
+        window.record(
+            op.t_invoke,
+            op.status == "ok",
+            t_done=op.t_return if op.status == "ok" else None,
+        )
+    window_ops, window_ok = window.counts(start=fault_at)
+    availability = window.availability(start=fault_at)
+    first_ok = window.first_ok_after(fault_at)
     return {
         "enabled": enabled,
         "fault_at_s": round(fault_at, 6),
         "window_ops": window_ops,
-        "window_ok": int(sum(v for _, v in ok_gauge.samples)),
-        "availability": availability,
-        "rto_s": rto,
+        "window_ok": window_ok,
+        "availability": round(availability, 6) if availability is not None else None,
+        "rto_s": round(first_ok - fault_at, 6) if first_ok is not None else None,
     }
 
 

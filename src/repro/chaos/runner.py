@@ -12,21 +12,35 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from repro.chaos import scenarios as _scenarios
 from repro.chaos.scenarios import SCENARIOS, Scenario, ScenarioResult
+from repro.obs.alerts import flight_record_to_json, validate_flight_record
 
 SCHEMA = "repro.chaos/2"
 DEFAULT_VERDICT_DIR = "bench/chaos"
 VERDICT_DIR_ENV = "REPRO_CHAOS_DIR"
+DEFAULT_FLIGHT_DIR = "bench/monitor"
+FLIGHT_DIR_ENV = "REPRO_MONITOR_DIR"
 
 
-def run_scenario(name: str, seed: int = 0) -> Dict[str, Any]:
-    """Execute one scenario and return its verdict document."""
+def run_scenario(name: str, seed: int = 0, monitors: bool = True) -> Dict[str, Any]:
+    """Execute one scenario and return its verdict document.
+
+    ``monitors`` toggles the online invariant monitors (repro.monitor).
+    They observe, never perturb — checks, stats, and timelines are
+    byte-identical either way; only the ``online`` block differs.
+    """
     try:
         scenario: Scenario = SCENARIOS[name]
     except KeyError:
         known = ", ".join(sorted(SCENARIOS))
         raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
-    result: ScenarioResult = scenario.fn(seed)
+    previous = _scenarios.MONITORING
+    _scenarios.MONITORING = monitors
+    try:
+        result: ScenarioResult = scenario.fn(seed)
+    finally:
+        _scenarios.MONITORING = previous
     checks = [c.to_dict() for c in result.checks]
     # Sanity violations ("the faults never overlapped the load") always
     # fail the verdict; they never satisfy an expect_violations scenario —
@@ -53,6 +67,11 @@ def run_scenario(name: str, seed: int = 0) -> Dict[str, Any]:
         # schema 2: liveness metrics (availability + RTO) for recovery
         # scenarios; None for pure-safety scenarios.
         "recovery": result.recovery,
+        # Online monitor verdict (repro.monitor): the in-sim incremental
+        # monitors' view of the same guarantees, plus freshness and
+        # record-reconciliation summaries and any fired alerts.
+        "online": result.online if result.online is not None
+        else {"enabled": False},
     }
 
 
@@ -85,6 +104,15 @@ def validate_verdict(doc: Dict[str, Any]) -> None:
         problems.append("recovery missing (schema 2)")
     elif doc["recovery"] is not None and not isinstance(doc["recovery"], dict):
         problems.append("recovery must be null or an object")
+    online = doc.get("online")
+    if not isinstance(online, dict):
+        problems.append("online missing or not an object")
+    elif not isinstance(online.get("enabled"), bool):
+        problems.append("online.enabled missing or not a bool")
+    elif online["enabled"]:
+        for key in ("checks", "passed", "events_seen"):
+            if key not in online:
+                problems.append(f"online.{key} missing")
     if problems:
         raise ValueError("invalid verdict: " + "; ".join(problems))
 
@@ -98,6 +126,41 @@ def write_verdict(doc: Dict[str, Any], directory: Optional[str] = None) -> str:
     with open(path, "w") as handle:
         handle.write(verdict_to_json(doc))
     return path
+
+
+def flight_records() -> List[Dict[str, Any]]:
+    """Flight-recorder snapshots (``repro.monitor/1`` docs) captured
+    during the most recent :func:`run_scenario` call — one per fired
+    alert, empty when monitors were off or nothing fired."""
+    hub = _scenarios.LAST_HUB
+    if hub is None or hub.recorder is None:
+        return []
+    return list(hub.recorder.snapshots)
+
+
+def write_flight_records(
+    scenario: str, seed: int, directory: Optional[str] = None
+) -> List[str]:
+    """Write the last run's flight-recorder snapshots as
+    ``monitor_<scenario>_seed<seed>_alert<i>.json``; returns the paths
+    (empty when no alert fired)."""
+    docs = flight_records()
+    if not docs:
+        return []
+    directory = directory or os.environ.get(FLIGHT_DIR_ENV, DEFAULT_FLIGHT_DIR)
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for i, doc in enumerate(docs):
+        problems = validate_flight_record(doc)
+        if problems:
+            raise ValueError("invalid flight record: " + "; ".join(problems))
+        path = os.path.join(
+            directory, f"monitor_{scenario}_seed{seed}_alert{i}.json"
+        )
+        with open(path, "w") as handle:
+            handle.write(flight_record_to_json(doc))
+        paths.append(path)
+    return paths
 
 
 def load_verdict(path: str) -> Dict[str, Any]:

@@ -41,6 +41,11 @@ class ScenarioResult:
     #: Liveness metrics (availability + RTO) for recovery scenarios;
     #: None for pure-safety scenarios. Serialized into schema-2 verdicts.
     recovery: Optional[dict] = None
+    #: Online monitor verdict (repro.monitor): the incremental in-sim
+    #: monitors' view of the same guarantees the offline checkers audit,
+    #: plus freshness/reconciliation summaries and any fired alerts.
+    #: None when monitoring was disabled for the run.
+    online: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -138,6 +143,53 @@ def _base_stats(cluster: BokiCluster, history: History) -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# Online monitoring (repro.monitor)
+# ----------------------------------------------------------------------
+#: Module-level toggle consulted by every scenario; ``runner.run_scenario``
+#: overrides it per call. Monitors observe, never perturb — checks, stats,
+#: and timelines are byte-identical either way — so the default is on and
+#: committed verdict goldens carry the online verdicts.
+MONITORING = True
+
+#: The MonitorHub of the most recent monitored scenario run. Scenarios
+#: discard their cluster when they return; this handle is how the CLI
+#: reaches the flight-recorder snapshots after ``run_scenario``.
+LAST_HUB = None
+
+
+def _monitor(cluster: BokiCluster, scenario: str, seed: int):
+    """Enable the online monitors + alerting on ``cluster`` (unless the
+    module toggle is off); call before ``boot()`` so the metalog monitor
+    sees every entry from index 0."""
+    global LAST_HUB
+    LAST_HUB = None
+    if not MONITORING:
+        return None
+    LAST_HUB = cluster.enable_monitoring(
+        context={"scenario": scenario, "seed": seed}
+    )
+    return LAST_HUB
+
+
+def _attach(hub, *objects) -> None:
+    """Point scenario-local tap sources (a BokiQueue, the DynamoDB model,
+    a FaultInjector) at the hub."""
+    if hub is not None:
+        for obj in objects:
+            obj.monitor = hub
+
+
+def _online(cluster: BokiCluster, drained: bool = True,
+            expected_effects=None) -> Optional[dict]:
+    """Finalize the online monitors and return their verdict document."""
+    hub = cluster.monitor
+    if hub is None:
+        return None
+    hub.finish(drained=drained, expected_effects=expected_effects)
+    return hub.verdict()
+
+
+# ----------------------------------------------------------------------
 # Scenarios
 # ----------------------------------------------------------------------
 @_scenario(
@@ -151,6 +203,7 @@ def crash_primary_sequencer(seed: int) -> ScenarioResult:
         num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=4,
         seed=seed, use_coord_sessions=True,
     )
+    hub = _monitor(cluster, "crash-primary-sequencer", seed)
     cluster.boot()
     history = History(cluster.env)
     initial_term = cluster.controller.current_term.term_id
@@ -158,6 +211,7 @@ def crash_primary_sequencer(seed: int) -> ScenarioResult:
     crash_at = 0.5
     plan = FaultPlan().crash(crash_at, primary)
     injector = FaultInjector(cluster.env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
     # Appends stall from the crash until the session-based failure detector
     # seals the term and the controller reconfigures (~session timeout),
@@ -180,7 +234,8 @@ def crash_primary_sequencer(seed: int) -> ScenarioResult:
     stats["initial_term"] = initial_term
     stats["final_term"] = final_term
     stats["ops_ok_after_crash"] = ops_after
-    return ScenarioResult(checks, injector.timeline, stats)
+    return ScenarioResult(checks, injector.timeline, stats,
+                          online=_online(cluster))
 
 
 @_scenario(
@@ -194,6 +249,7 @@ def partition_storage_under_load(seed: int) -> ScenarioResult:
         num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
         seed=seed,
     )
+    hub = _monitor(cluster, "partition-storage-under-load", seed)
     cluster.boot()
     history = History(cluster.env)
     victim = cluster.storage_nodes[0].name
@@ -205,6 +261,7 @@ def partition_storage_under_load(seed: int) -> ScenarioResult:
         .heal_all(heal_at)
     )
     injector = FaultInjector(cluster.env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
     procs = _store_load(cluster, history, num_clients=3, ops_per_client=25)
     _drive_all(cluster, procs, limit=300.0)
@@ -219,7 +276,8 @@ def partition_storage_under_load(seed: int) -> ScenarioResult:
     ]
     stats = _base_stats(cluster, history)
     stats["ops_ok_after_heal"] = ops_after
-    return ScenarioResult(checks, injector.timeline, stats)
+    return ScenarioResult(checks, injector.timeline, stats,
+                          online=_online(cluster))
 
 
 @_scenario(
@@ -233,6 +291,7 @@ def storage_node_flap(seed: int) -> ScenarioResult:
         num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
         seed=seed,
     )
+    hub = _monitor(cluster, "storage-node-flap", seed)
     cluster.boot()
     history = History(cluster.env)
     snode = cluster.storage_nodes[0]
@@ -248,6 +307,7 @@ def storage_node_flap(seed: int) -> ScenarioResult:
         .restart(last_restart, snode.name)
     )
     injector = FaultInjector(cluster.env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
     procs = _store_load(cluster, history, num_clients=3, ops_per_client=25)
     _drive_all(cluster, procs, limit=300.0)
@@ -265,7 +325,8 @@ def storage_node_flap(seed: int) -> ScenarioResult:
     stats = _base_stats(cluster, history)
     stats["storage_crashes"] = snode.node.crash_count
     stats["ops_ok_after_final_restart"] = ops_after
-    return ScenarioResult(checks, injector.timeline, stats)
+    return ScenarioResult(checks, injector.timeline, stats,
+                          online=_online(cluster))
 
 
 @_scenario(
@@ -280,6 +341,7 @@ def slow_primary_sequencer(seed: int) -> ScenarioResult:
         num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
         seed=seed,
     )
+    hub = _monitor(cluster, "slow-primary-sequencer", seed)
     cluster.boot()
     history = History(cluster.env)
     primary = cluster.term.assignment(0).primary
@@ -290,6 +352,7 @@ def slow_primary_sequencer(seed: int) -> ScenarioResult:
         .slowdown(restore_at, primary, 0.0)
     )
     injector = FaultInjector(cluster.env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
     procs = _store_load(cluster, history, num_clients=2, ops_per_client=30)
     _drive_all(cluster, procs, limit=300.0)
@@ -304,15 +367,18 @@ def slow_primary_sequencer(seed: int) -> ScenarioResult:
     ]
     stats = _base_stats(cluster, history)
     stats["ops_ok_after_restore"] = ops_after
-    return ScenarioResult(checks, injector.timeline, stats)
+    return ScenarioResult(checks, injector.timeline, stats,
+                          online=_online(cluster))
 
 
 # ----------------------------------------------------------------------
 # BokiFlow exactly-once (and the unsafe baseline that breaks it)
 # ----------------------------------------------------------------------
-def _flow_crash_retry(seed: int, runtime_cls) -> ScenarioResult:
+def _flow_crash_retry(seed: int, runtime_cls, scenario: str) -> ScenarioResult:
     cluster = BokiCluster(num_function_nodes=2, seed=seed)
+    hub = _monitor(cluster, scenario, seed)
     db = DynamoDBService(cluster.env, cluster.net, cluster.streams)
+    _attach(hub, db)
     cluster.boot()
     runtime = runtime_cls(cluster)
 
@@ -367,7 +433,8 @@ def _flow_crash_retry(seed: int, runtime_cls) -> ScenarioResult:
     }
     timeline = [{"t": 0.0, "action": "fault_hook",
                  "args": ["crash-before-step-2-first-execution"]}]
-    return ScenarioResult(checks, timeline, stats)
+    return ScenarioResult(checks, timeline, stats,
+                          online=_online(cluster, expected_effects=expected))
 
 
 @_scenario(
@@ -379,7 +446,7 @@ def _flow_crash_retry(seed: int, runtime_cls) -> ScenarioResult:
 )
 def flow_crash_retry(seed: int) -> ScenarioResult:
     from repro.libs.bokiflow import BokiFlowRuntime
-    return _flow_crash_retry(seed, BokiFlowRuntime)
+    return _flow_crash_retry(seed, BokiFlowRuntime, "flow-crash-retry")
 
 
 @_scenario(
@@ -392,7 +459,7 @@ def flow_crash_retry(seed: int) -> ScenarioResult:
 )
 def unsafe_flow_crash_retry(seed: int) -> ScenarioResult:
     from repro.baselines.unsafe import UnsafeRuntime
-    return _flow_crash_retry(seed, UnsafeRuntime)
+    return _flow_crash_retry(seed, UnsafeRuntime, "unsafe-flow-crash-retry")
 
 
 # ----------------------------------------------------------------------
@@ -411,12 +478,14 @@ def queue_link_chaos(seed: int) -> ScenarioResult:
         num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
         seed=seed,
     )
+    hub = _monitor(cluster, "queue-link-chaos", seed)
     cluster.boot()
     env = cluster.env
     history = History(env)
     engine = cluster.engines["func-0"]
     queue = BokiQueue(cluster.logbook(1, engine=engine), "chaos-q", num_shards=2)
     queue.history = history
+    _attach(hub, queue)
     primary = cluster.term.assignment(0).primary
     subscribers = sorted(
         list(cluster.engines) + [s.name for s in cluster.storage_nodes]
@@ -426,6 +495,7 @@ def queue_link_chaos(seed: int) -> ScenarioResult:
         plan.link_fault(0.2, primary, sub, drop=0.10, dup=0.20, delay=0.5e-3,
                         symmetric=False)
     injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
 
     total = 40
@@ -482,7 +552,8 @@ def queue_link_chaos(seed: int) -> ScenarioResult:
     stats = _base_stats(cluster, history)
     stats["pushed"] = len(produced)
     stats["popped"] = got[0] + got[1]
-    return ScenarioResult(checks, injector.timeline, stats)
+    return ScenarioResult(checks, injector.timeline, stats,
+                          online=_online(cluster, drained=True))
 
 
 # ----------------------------------------------------------------------
@@ -548,12 +619,15 @@ def _gateway_store_clients(cluster: BokiCluster, history: History,
 
 
 def _crash_primary_under_load(seed: int, resilient: bool) -> ScenarioResult:
+    scenario = ("crash-primary-under-load" if resilient
+                else "crash-primary-under-load-norecovery")
     cluster = BokiCluster(
         num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=4,
         seed=seed, use_coord_sessions=True,
     )
     if resilient:
         cluster.enable_resilience()
+    hub = _monitor(cluster, scenario, seed)
     cluster.boot()
     history = History(cluster.env)
     _register_store_fn(cluster)
@@ -566,6 +640,7 @@ def _crash_primary_under_load(seed: int, resilient: bool) -> ScenarioResult:
     crash_at = 0.4
     plan = FaultPlan().crash(crash_at, primary)
     injector = FaultInjector(cluster.env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
     # Appends stall from the crash until session expiry + reconfiguration
     # (~2.1 s). Resilient clients retry 1 s attempts through the stall;
@@ -604,7 +679,8 @@ def _crash_primary_under_load(seed: int, resilient: bool) -> ScenarioResult:
     checks.append(_sanity(sanity))
     stats["initial_term"] = initial_term
     stats["final_term"] = final_term
-    return ScenarioResult(checks, injector.timeline, stats, recovery=metrics)
+    return ScenarioResult(checks, injector.timeline, stats, recovery=metrics,
+                          online=_online(cluster))
 
 
 @_scenario(
@@ -635,10 +711,14 @@ def _coordinator_crash_midcommit(seed: int, resilient: bool) -> ScenarioResult:
     from repro.libs.bokiflow import BokiFlowRuntime
     from repro.libs.bokiflow.env import WorkflowCrash
 
+    scenario = ("coordinator-crash-midcommit" if resilient
+                else "coordinator-crash-midcommit-norecovery")
     cluster = BokiCluster(num_function_nodes=2, seed=seed)
     if resilient:
         cluster.enable_resilience()
+    hub = _monitor(cluster, scenario, seed)
     db = DynamoDBService(cluster.env, cluster.net, cluster.streams)
+    _attach(hub, db)
     cluster.boot()
     env = cluster.env
     history = History(env)
@@ -735,7 +815,8 @@ def _coordinator_crash_midcommit(seed: int, resilient: bool) -> ScenarioResult:
         sanity.append((0 < len(completed) < len(wf_ids),
                        "baseline should complete only the uncrashed workflows"))
     checks.append(_sanity(sanity))
-    return ScenarioResult(checks, timeline, stats, recovery=metrics)
+    return ScenarioResult(checks, timeline, stats, recovery=metrics,
+                          online=_online(cluster, expected_effects=expected))
 
 
 @_scenario(
@@ -784,6 +865,7 @@ def flaky_links_retry_storm(seed: int) -> ScenarioResult:
     # sustained lossy window; scenarios size the budget like an operator
     # would. Deterministic — set before any traffic.
     resil.budget = RetryBudget(ratio=0.25, max_tokens=200.0, initial=50.0)
+    hub = _monitor(cluster, "flaky-links-retry-storm", seed)
     cluster.boot()
     history = History(cluster.env)
     _register_store_fn(cluster)
@@ -797,6 +879,7 @@ def flaky_links_retry_storm(seed: int) -> ScenarioResult:
         .clear_link_faults(heal_at)
     )
     injector = FaultInjector(cluster.env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
     policy = RetryPolicy(max_attempts=8, base_delay=5e-3, max_delay=0.1,
                          attempt_timeout=0.25, retry_timeouts=True)
@@ -826,7 +909,8 @@ def flaky_links_retry_storm(seed: int) -> ScenarioResult:
     stats = _base_stats(cluster, history)
     for key, value in sorted(snapshot.items()):
         stats[f"resil_{key}"] = value
-    return ScenarioResult(checks, injector.timeline, stats, recovery=metrics)
+    return ScenarioResult(checks, injector.timeline, stats, recovery=metrics,
+                          online=_online(cluster))
 
 
 # ----------------------------------------------------------------------
@@ -879,6 +963,7 @@ def elastic_scale_in_during_partition(seed: int) -> ScenarioResult:
             min_nodes=3, max_nodes=4, breach_down=10, cooldown_down=1.0,
         )),
     )
+    hub = _monitor(cluster, "elastic-scale-in-during-partition", seed)
     cluster.boot()
     env = cluster.env
     history = History(env)
@@ -895,6 +980,7 @@ def elastic_scale_in_during_partition(seed: int) -> ScenarioResult:
         .heal_all(heal_at)
     )
     injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
 
     # Phase 1 (~0.5 s): mid load keeps utilization in the dead band; then
@@ -929,6 +1015,7 @@ def elastic_scale_in_during_partition(seed: int) -> ScenarioResult:
     queue = BokiQueue(cluster.logbook(2, engine=engine), "elastic-q",
                       num_shards=2)
     queue.history = history
+    _attach(hub, queue)
     produced: List[str] = []
 
     def producer_proc():
@@ -1002,7 +1089,8 @@ def elastic_scale_in_during_partition(seed: int) -> ScenarioResult:
     stats["pushed"] = len(produced)
     stats["popped"] = popped["n"]
     stats["ops_ok_after_heal"] = ops_after
-    return ScenarioResult(checks, _merged_timeline(injector, auto), stats)
+    return ScenarioResult(checks, _merged_timeline(injector, auto), stats,
+                          online=_online(cluster, drained=True))
 
 
 @_scenario(
@@ -1031,6 +1119,7 @@ def elastic_flash_crowd_primary_crash(seed: int) -> ScenarioResult:
             cooldown_down=1.0,
         )),
     )
+    hub = _monitor(cluster, "elastic-flash-crowd-primary-crash", seed)
     cluster.boot()
     env = cluster.env
     history = History(env)
@@ -1072,6 +1161,7 @@ def elastic_flash_crowd_primary_crash(seed: int) -> ScenarioResult:
     plan = FaultPlan().call(crash_at, "crash-store-primary",
                             crash_store_primary)
     injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
     injector.start()
 
     # Resilient gateway store clients ride through the append stall that
@@ -1131,7 +1221,7 @@ def elastic_flash_crowd_primary_crash(seed: int) -> ScenarioResult:
     stats["crashed_primary"] = crashed.get("primary")
     stats["crashed_in_term"] = crashed.get("term")
     return ScenarioResult(checks, _merged_timeline(injector, auto), stats,
-                          recovery=metrics)
+                          recovery=metrics, online=_online(cluster))
 
 
 def fast_scenarios() -> List[str]:

@@ -111,6 +111,7 @@ class BokiCluster:
         self.obs = None
         self.resil = None
         self.elastic = None
+        self.monitor = None
 
     # ------------------------------------------------------------------
     # Observability (repro.obs)
@@ -141,6 +142,48 @@ class BokiCluster:
             for name, node in self.net.nodes.items():
                 obs.profiler.attach_node(node)
         return obs
+
+    # ------------------------------------------------------------------
+    # Online monitoring (repro.monitor)
+    # ------------------------------------------------------------------
+    def enable_monitoring(
+        self,
+        rules=None,
+        alerting: bool = True,
+        interval: float = 0.05,
+        ring: int = 512,
+        context=None,
+    ):
+        """Switch on the online invariant monitors for every component
+        and (by default) the SLO burn-rate alerting layer + flight
+        recorder; returns the :class:`~repro.monitor.MonitorHub`.
+
+        Monitors observe, never perturb: taps are synchronous attribute
+        calls, the alert evaluator is a read-only kernel process, and no
+        RNG is consumed — same-seed runs stay byte-identical with
+        monitoring on or off. Scenario-local objects (a BokiQueue, the
+        DynamoDB model, a FaultInjector) are attached by setting their
+        ``.monitor`` attribute to the returned hub.
+        """
+        from repro.obs.alerts import AlertManager, FlightRecorder
+        from repro.obs.monitor import MonitorHub
+
+        if self.monitor is not None:
+            return self.monitor
+        hub = self.monitor = MonitorHub(self.env)
+        self.gateway.monitor = hub
+        for engine in self.engines.values():
+            engine.monitor = hub
+        for snode in self.storage_nodes:
+            snode.monitor = hub
+        for qnode in self.sequencer_nodes:
+            qnode.monitor = hub
+        if alerting:
+            hub.recorder = FlightRecorder(capacity=ring, context=context)
+            hub.recorder.hub = hub
+            hub.alerts = AlertManager(hub, rules=rules, interval=interval)
+            self.env.process(hub.alerts.run(self.env), name="monitor-alerts")
+        return hub
 
     # ------------------------------------------------------------------
     # Resilience (repro.resil)

@@ -129,6 +129,8 @@ class LogBookEngine:
         #: Resilience hub (repro.resil), set by enable_resilience; None
         #: keeps the original single-pass/fail-fast behavior on every path.
         self.resil = None
+        #: Online monitor hub (repro.monitor), set by enable_monitoring.
+        self.monitor = None
         node.handle("metalog.entry", self._h_metalog_entry)
         node.handle("index.meta", self._h_index_meta)
         node.handle("engine.read", self._h_engine_read)
@@ -269,10 +271,16 @@ class LogBookEngine:
             done = Event(self.env)
             state.pending[(shard, local_id)] = done
             state.meta[(shard, local_id)] = (book_id, tuple(tags))
+            if self.monitor is not None:
+                self.monitor.on_append_start(
+                    shard, (term, log_id, local_id), self.env.now
+                )
             yield self.node.cpu.use(self.config.engine_service)
             ok = yield from self._replicate(asg, shard, payload, term_config)
             if not ok:
                 done_ev = state.pending.pop((shard, local_id), None)
+                if self.monitor is not None:
+                    self.monitor.on_append_abort(shard, (term, log_id, local_id))
                 yield from self._await_term_change(term)
                 continue
             # Ship metadata to the index engines so they can index the
@@ -879,6 +887,10 @@ class LogBookEngine:
             pending = state.pending.pop((shard, local_id), None)
             if pending is not None and not pending.triggered:
                 pending.succeed((seqnum, MetalogPosition(term, entry.index + 1)))
+                if self.monitor is not None:
+                    self.monitor.on_append_done(
+                        shard, (term, log_id, local_id), self.env.now
+                    )
         state.prev_progress = entry.progress_dict()
         if index is not None:
             for trim in entry.trims:
@@ -910,6 +922,8 @@ class LogBookEngine:
             if not event.triggered:
                 event.fail(AppendAborted(f"term {term} sealed"))
             state.pending.pop(key, None)
+            if self.monitor is not None:
+                self.monitor.on_append_abort(key[0], (term, log_id, key[1]))
         # The sealed term contributes a final index version so readers
         # waiting on old-term positions are released.
         self._wake_readers(log_id)

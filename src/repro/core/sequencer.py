@@ -51,6 +51,9 @@ class SequencerNode:
         self._drivers: Dict[Tuple[int, int], object] = {}
         self.entries_appended = 0
         self.obs = DISABLED
+        #: Online monitor hub (repro.monitor), set by enable_monitoring;
+        #: None keeps the tap-free fast path.
+        self.monitor = None
         self._register_handlers()
 
     @property
@@ -180,6 +183,8 @@ class SequencerNode:
                 if span is not None:
                     span.finish(STATUS_OK, acks=acks)
                     self.obs.tracer.set_process_context(None)
+                if self.monitor is not None:
+                    self.monitor.on_metalog_entry(self.name, term, log_id, entry)
                 state.pending_trims = state.pending_trims[len(trims):]
                 self.entries_appended += 1
                 payload = {"term": term, "log_id": log_id, "entry": entry}
@@ -204,6 +209,10 @@ class SequencerNode:
         if entry.index > len(replica):
             raise SealedError(f"gap in replication at {self.name}")
         replica.append(entry)
+        if self.monitor is not None:
+            self.monitor.on_metalog_entry(
+                self.name, payload["term"], payload["log_id"], entry
+            )
         return True
 
     # ------------------------------------------------------------------

@@ -75,6 +75,8 @@ class StorageNode:
         self.records_ordered = 0
         self._progress_proc = None
         self.obs = DISABLED
+        #: Online monitor hub (repro.monitor), set by enable_monitoring.
+        self.monitor = None
         self._register_handlers()
 
     @property
@@ -267,6 +269,10 @@ class StorageNode:
                 record["seqnum"] = seqnum
                 self._by_seqnum[seqnum] = record
                 self.records_ordered += 1
+                if self.monitor is not None:
+                    self.monitor.on_storage_apply(
+                        self.name, self.node.crash_count, term, log_id, shard, pos
+                    )
         state.prev_progress = entry.progress_dict()
         for trim in entry.trims:
             self._reclaim(trim)

@@ -80,6 +80,9 @@ class Gateway:
         #: keeps the fail-fast single-attempt behavior.
         self.resil = None
         self.invoke_policy: Optional[RetryPolicy] = None
+        #: Online monitor hub (repro.monitor), set by enable_monitoring;
+        #: feeds the availability/latency windows behind SLO burn rates.
+        self.monitor = None
         self.node.handle("faas.invoke", self._h_invoke)
 
     # ------------------------------------------------------------------
@@ -293,6 +296,7 @@ class Gateway:
         """
         if policy is None and self.resil is not None:
             policy = self.invoke_policy
+        t_start = self.env.now
         payload = {
             "fn": fn_name, "arg": arg, "book_id": book_id, "baggage": {},
             "invocation_id": self._new_invocation_id(),
@@ -313,14 +317,20 @@ class Gateway:
                     client_node, self.node, "faas.invoke", payload,
                     timeout=deadline,
                 )
+                if self.monitor is not None:
+                    self.monitor.on_invoke(t_start, self.env.now, True)
                 return reply["result"]
             except (RpcError, RpcTimeout) as exc:
                 cause = _unwrap(exc)
                 if policy is None or not policy.should_retry(exc, attempt):
+                    if self.monitor is not None:
+                        self.monitor.on_invoke(t_start, self.env.now, False)
                     if isinstance(exc, RpcTimeout):
                         raise  # ambiguous: surface the timeout itself
                     raise cause from None
                 if self.resil is not None and not self.resil.budget.try_spend():
+                    if self.monitor is not None:
+                        self.monitor.on_invoke(t_start, self.env.now, False)
                     if isinstance(exc, RpcTimeout):
                         raise
                     raise cause from None

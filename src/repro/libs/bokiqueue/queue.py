@@ -67,6 +67,9 @@ class BokiQueue:
         #: producers/consumers record push/pop calls through it for
         #: offline no-loss / no-duplicate delivery checking.
         self.history = None
+        #: Optional repro.monitor hub; push/pop completions feed the
+        #: online no-loss / no-duplicate delivery monitor.
+        self.monitor = None
 
     def producer(self, max_backlog: Optional[int] = None) -> "QueueProducer":
         return QueueProducer(self, max_backlog=max_backlog)
@@ -158,9 +161,12 @@ class QueueProducer:
         if self.max_backlog is not None and count % self.BACKLOG_CHECK_EVERY == 0:
             yield from self._wait_for_room(shard)
         history = self.queue.history
+        monitor = self.queue.monitor
         op = None
         if history is not None:
             op = history.invoke("producer", "queue.push", self.queue.name, value=value)
+        if monitor is not None:
+            monitor.on_queue_push_attempt(self.queue.name, shard, value)
         try:
             seqnum = yield from self.queue.book.append(
                 {"kind": "push", "value": value},
@@ -169,9 +175,13 @@ class QueueProducer:
         except BaseException as exc:
             if op is not None:
                 history.fail(op, error=repr(exc))
+            if monitor is not None:
+                monitor.on_queue_push_fail(self.queue.name, shard, value)
             raise
         if op is not None:
             history.ok(op, result=seqnum)
+        if monitor is not None:
+            monitor.on_queue_push_ack(self.queue.name, shard, value, seqnum)
         return seqnum
 
     def _wait_for_room(self, shard: int) -> Generator:
@@ -225,6 +235,8 @@ class QueueConsumer:
         self._local_view = (seqnum, state)
         if op is not None:
             history.ok(op, result=result)
+        if self.queue.monitor is not None:
+            self.queue.monitor.on_queue_pop(self.queue.name, self.shard, result)
         return result
 
     def pop_wait(self, poll_interval: float = 0.002, max_polls: int = 500) -> Generator:

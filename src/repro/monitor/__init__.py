@@ -1,0 +1,64 @@
+"""repro.monitor — online invariant monitoring, SLO alerting, and the
+flight recorder.
+
+A thin package surface over :mod:`repro.obs.monitor` and
+:mod:`repro.obs.alerts` (the implementations live in ``repro.obs`` so
+they can share the sample-window machinery with the metrics registry):
+
+- :class:`MonitorHub` + the incremental monitors (metalog consistency,
+  queue delivery, exactly-once effects, read freshness, storage record
+  reconciliation), fed by event taps in the core components;
+- :class:`SLO` / :class:`BurnRateRule` / :class:`AlertManager` — the
+  multi-window burn-rate alerting layer;
+- :class:`FlightRecorder` and the ``repro.monitor/1`` snapshot schema.
+
+Enable on a cluster with ``cluster.enable_monitoring()``; chaos
+scenarios run with monitors on by default and carry the online verdict
+in their ``repro.chaos/2`` artifacts.
+"""
+
+from repro.obs.alerts import (
+    MONITOR_SCHEMA,
+    Alert,
+    AlertManager,
+    BurnRateRule,
+    FlightRecorder,
+    SLO,
+    default_rules,
+    flight_record_to_json,
+    render_flight_record,
+    validate_flight_record,
+)
+from repro.obs.monitor import (
+    FlowMonitor,
+    FreshnessMonitor,
+    MetalogMonitor,
+    MonitorHub,
+    MonitorResult,
+    QueueMonitor,
+    SampleWindow,
+    StorageMonitor,
+    SuccessWindow,
+)
+
+__all__ = [
+    "MONITOR_SCHEMA",
+    "Alert",
+    "AlertManager",
+    "BurnRateRule",
+    "FlightRecorder",
+    "FlowMonitor",
+    "FreshnessMonitor",
+    "MetalogMonitor",
+    "MonitorHub",
+    "MonitorResult",
+    "QueueMonitor",
+    "SLO",
+    "SampleWindow",
+    "StorageMonitor",
+    "SuccessWindow",
+    "default_rules",
+    "flight_record_to_json",
+    "render_flight_record",
+    "validate_flight_record",
+]

@@ -29,6 +29,10 @@ Modules
 ``recorder``
     The enabled/disabled switch; disabled tracing costs one attribute
     check on the hot path.
+``monitor`` / ``alerts``
+    Online invariant monitors (incremental shadows of the offline chaos
+    checkers), SLO burn-rate alerting, and the flight recorder —
+    re-exported as the :mod:`repro.monitor` package surface.
 """
 
 # Initialize the sim substrate before any obs submodule: obs modules pull
@@ -37,6 +41,18 @@ Modules
 # ``python -m repro.obs`` makes this package the first import).
 import repro.sim  # noqa: F401  (import-order dependency, see above)
 
+from repro.obs.alerts import (
+    MONITOR_SCHEMA,
+    Alert,
+    AlertManager,
+    BurnRateRule,
+    FlightRecorder,
+    SLO,
+    default_rules,
+    flight_record_to_json,
+    render_flight_record,
+    validate_flight_record,
+)
 from repro.obs.bench import (
     ArtifactWriter,
     BenchmarkArtifact,
@@ -44,6 +60,7 @@ from repro.obs.bench import (
     compare_artifacts,
     load_artifact,
     validate_artifact,
+    wall_block,
 )
 from repro.obs.critical_path import (
     AttributionAggregate,
@@ -54,11 +71,18 @@ from repro.obs.critical_path import (
 )
 from repro.obs.export import (
     attribution_report,
+    monitor_instants,
     self_times,
     slowest_trace,
     to_chrome_trace,
     trace_spans,
     write_chrome_trace,
+)
+from repro.obs.monitor import (
+    MonitorHub,
+    MonitorResult,
+    SampleWindow,
+    SuccessWindow,
 )
 from repro.obs.profile import KernelProfiler, NodeProfile
 from repro.obs.recorder import DISABLED, ObsRecorder
@@ -66,20 +90,30 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, regis
 from repro.obs.trace import Span, SpanContext, Tracer
 
 __all__ = [
+    "Alert",
+    "AlertManager",
     "ArtifactWriter",
     "AttributionAggregate",
     "BenchmarkArtifact",
+    "BurnRateRule",
     "Counter",
     "DISABLED",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KernelProfiler",
+    "MONITOR_SCHEMA",
     "MetricDelta",
     "MetricsRegistry",
+    "MonitorHub",
+    "MonitorResult",
     "NodeProfile",
     "ObsRecorder",
+    "SLO",
+    "SampleWindow",
     "Span",
     "SpanContext",
+    "SuccessWindow",
     "Tracer",
     "attribute_trace",
     "attribution_report",
@@ -87,12 +121,18 @@ __all__ = [
     "compare_artifacts",
     "critical_path",
     "critical_path_report",
+    "default_rules",
+    "flight_record_to_json",
     "load_artifact",
+    "monitor_instants",
     "registry_from_cluster",
+    "render_flight_record",
     "self_times",
     "slowest_trace",
     "to_chrome_trace",
     "trace_spans",
     "validate_artifact",
+    "validate_flight_record",
+    "wall_block",
     "write_chrome_trace",
 ]

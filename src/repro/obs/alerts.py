@@ -1,0 +1,388 @@
+"""SLO burn-rate alerting and the flight recorder.
+
+Sits on top of the online monitors (:mod:`repro.obs.monitor`): SLOs are
+declared as objectives over the hub's incremental windows (availability,
+p99 latency, read freshness), burn-rate rules evaluate them over a
+*fast* and a *slow* window (the SRE multi-window pattern: the fast
+window makes alerts responsive, the slow window keeps them from flapping
+on a single bad sample), and every ``ok -> firing`` transition emits a
+typed :class:`Alert` record.
+
+The :class:`FlightRecorder` is the black box: a bounded ring buffer of
+recent metric samples, fault injections, monitor violations, and alert
+transitions. When an alert fires, the recorder snapshots the ring into a
+deterministic ``repro.monitor/1`` JSON document — the last N events
+before the problem, attached to the verdict instead of lost to the
+scrollback.
+
+Like the monitors, everything here observes and never perturbs: the
+evaluation loop is a kernel process that reads windows and writes only
+its own state, so same-seed runs stay byte-identical with alerting on
+or off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+MONITOR_SCHEMA = "repro.monitor/1"
+
+#: Flight-recorder ring capacity (events); ~enough to cover the window
+#: between cause and detection in every committed scenario.
+DEFAULT_RING = 512
+
+
+# ----------------------------------------------------------------------
+# SLOs and burn-rate rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLO:
+    """A service-level objective over one of the hub's windows.
+
+    ``kind`` selects the signal:
+
+    - ``availability`` — ``objective`` is the success-ratio target
+      (e.g. 0.99); burn rate = observed error rate / error budget.
+    - ``latency_p99_ms`` — ``objective`` is the p99 target in ms; burn
+      rate = observed p99 / target.
+    - ``freshness_p99_s`` — ``objective`` is the append->readable p99
+      target in seconds; burn rate = observed p99 / target.
+    """
+
+    name: str
+    kind: str
+    objective: float
+
+    KINDS = ("availability", "latency_p99_ms", "freshness_p99_s")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "availability" and not 0.0 < self.objective < 1.0:
+            raise ValueError("availability objective must be in (0, 1)")
+        if self.kind != "availability" and self.objective <= 0:
+            raise ValueError(f"{self.kind} objective must be positive")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Multi-window burn-rate rule: fire when *both* the fast and the
+    slow window burn at ``threshold`` times the sustainable rate."""
+
+    slo: SLO
+    fast_window: float
+    slow_window: float
+    threshold: float
+    min_events: int = 5
+    severity: str = "page"
+
+    @property
+    def name(self) -> str:
+        return f"{self.slo.name}-burn"
+
+    def _burn(self, hub, window: float, now: float) -> Optional[float]:
+        kind = self.slo.kind
+        if kind == "availability":
+            count, ok = hub.availability.counts(window=window, end=now)
+            if count < self.min_events:
+                return None
+            budget = 1.0 - self.slo.objective
+            return ((count - ok) / count) / budget
+        if kind == "latency_p99_ms":
+            source = hub.latency_ms
+        else:
+            source = hub.freshness.overall
+        lo, hi = source._bounds(window, None, now)
+        if hi - lo < self.min_events:
+            return None
+        p99 = source.quantile(0.99, start=None, window=window, end=now)
+        return None if p99 is None else p99 / self.slo.objective
+
+    def evaluate(self, hub, now: float) -> Optional[Dict[str, float]]:
+        """Burn rates for both windows, or None when either window has
+        too little data to judge."""
+        fast = self._burn(hub, self.fast_window, now)
+        slow = self._burn(hub, self.slow_window, now)
+        if fast is None or slow is None:
+            return None
+        return {"fast": fast, "slow": slow}
+
+
+@dataclass
+class Alert:
+    """A typed alert record: one per ``ok -> firing`` transition."""
+
+    t: float
+    rule: str
+    slo: str
+    kind: str
+    severity: str
+    threshold: float
+    burn_fast: float
+    burn_slow: float
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "t": round(self.t, 9),
+            "rule": self.rule,
+            "slo": self.slo,
+            "kind": self.kind,
+            "severity": self.severity,
+            "threshold": self.threshold,
+            "burn_fast": round(self.burn_fast, 6),
+            "burn_slow": round(self.burn_slow, 6),
+            "message": self.message,
+        }
+
+
+def default_rules(
+    availability: float = 0.9,
+    latency_p99_ms: float = 250.0,
+    freshness_p99_s: float = 0.25,
+) -> List[BurnRateRule]:
+    """The stock rule set wired in by ``enable_monitoring``: one paging
+    rule per SLO with a 2s fast window and a 10s slow window (virtual
+    seconds — chaos scenarios live on that timescale)."""
+    return [
+        BurnRateRule(
+            SLO("availability", "availability", availability),
+            fast_window=2.0, slow_window=10.0, threshold=2.0,
+        ),
+        BurnRateRule(
+            SLO("latency-p99", "latency_p99_ms", latency_p99_ms),
+            fast_window=2.0, slow_window=10.0, threshold=1.0,
+        ),
+        BurnRateRule(
+            SLO("freshness-p99", "freshness_p99_s", freshness_p99_s),
+            fast_window=2.0, slow_window=10.0, threshold=1.0,
+        ),
+    ]
+
+
+class AlertManager:
+    """Evaluates burn-rate rules on a fixed virtual-time cadence and
+    tracks per-rule firing state. Alerts are emitted on the ok->firing
+    edge only (no re-page while firing); every state change lands in
+    ``transitions`` for the Chrome-trace export."""
+
+    def __init__(
+        self,
+        hub,
+        rules: Optional[List[BurnRateRule]] = None,
+        interval: float = 0.05,
+    ):
+        self.hub = hub
+        self.rules = list(rules if rules is not None else default_rules())
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate rule names: {names}")
+        self.interval = interval
+        self.alerts: List[Alert] = []
+        self.transitions: List[dict] = []
+        self._firing: Dict[str, bool] = {r.name: False for r in self.rules}
+        self.evaluations = 0
+
+    def evaluate(self, now: float) -> List[Alert]:
+        """One evaluation pass; returns alerts newly fired at ``now``."""
+        self.evaluations += 1
+        fired: List[Alert] = []
+        for rule in self.rules:
+            burn = rule.evaluate(self.hub, now)
+            firing = (
+                burn is not None
+                and burn["fast"] >= rule.threshold
+                and burn["slow"] >= rule.threshold
+            )
+            was_firing = self._firing[rule.name]
+            if firing and not was_firing:
+                alert = Alert(
+                    t=now,
+                    rule=rule.name,
+                    slo=rule.slo.name,
+                    kind=rule.slo.kind,
+                    severity=rule.severity,
+                    threshold=rule.threshold,
+                    burn_fast=burn["fast"],
+                    burn_slow=burn["slow"],
+                    message=(
+                        f"{rule.slo.name} burning at "
+                        f"{min(burn['fast'], burn['slow']):.2f}x budget "
+                        f"(threshold {rule.threshold}x) in both windows"
+                    ),
+                )
+                self.alerts.append(alert)
+                fired.append(alert)
+                self._transition(now, rule.name, "firing")
+                recorder = self.hub.recorder
+                if recorder is not None:
+                    recorder.on_alert(alert)
+            elif was_firing and not firing:
+                self._transition(now, rule.name, "ok")
+            self._firing[rule.name] = firing
+        return fired
+
+    def _transition(self, now: float, rule: str, state: str) -> None:
+        self.transitions.append({"t": round(now, 9), "rule": rule, "state": state})
+
+    def run(self, env) -> Generator:
+        """The kernel process: evaluate every ``interval`` virtual
+        seconds. Reads windows, writes only alert state — no messages,
+        no RNG, no shared simulation state."""
+        while True:
+            yield env.timeout(self.interval)
+            self.evaluate(env.now)
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class FlightRecorder:
+    """Bounded ring buffer of recent events, snapshotted on alert.
+
+    Event kinds in the ring: ``metric`` (per-operation samples the hub
+    forwards), ``fault`` (injector timeline entries), ``violation``
+    (online monitor findings), ``alert`` (manager transitions). The ring
+    holds the last ``capacity`` events; a snapshot freezes them together
+    with the triggering alert and the monitors' current verdicts into a
+    ``repro.monitor/1`` document."""
+
+    def __init__(self, capacity: int = DEFAULT_RING, context: Optional[dict] = None):
+        self.capacity = capacity
+        self.ring: deque = deque(maxlen=capacity)
+        self.context = dict(context or {})
+        self.snapshots: List[dict] = []
+        self.hub = None  # back-reference, set by enable_monitoring
+        self.dropped = 0
+
+    def _push(self, event: dict) -> None:
+        if len(self.ring) == self.capacity:
+            self.dropped += 1
+        self.ring.append(event)
+
+    def on_metric(self, t: float, name: str, fields: dict) -> None:
+        self._push({"t": round(t, 9), "type": "metric", "name": name, **fields})
+
+    def on_fault(self, entry: dict) -> None:
+        self._push({"type": "fault", **entry})
+
+    def on_violation(self, t: float, monitor: str, message: str) -> None:
+        self._push({
+            "t": round(t, 9), "type": "violation",
+            "monitor": monitor, "message": message,
+        })
+
+    def on_alert(self, alert: Alert) -> None:
+        self._push({"type": "alert", **alert.to_dict()})
+        self.snapshots.append(self.snapshot(alert))
+
+    def snapshot(self, alert: Optional[Alert] = None) -> dict:
+        """Freeze the ring into a deterministic ``repro.monitor/1`` doc."""
+        doc: Dict[str, Any] = {
+            "schema": MONITOR_SCHEMA,
+            "context": dict(sorted(self.context.items())),
+            "fired_at": round(alert.t, 9) if alert is not None else None,
+            "alert": alert.to_dict() if alert is not None else None,
+            "events": list(self.ring),
+            "events_dropped": self.dropped,
+            "monitors": (
+                [r.to_dict() for r in self.hub.results()]
+                if self.hub is not None else []
+            ),
+        }
+        return doc
+
+
+def flight_record_to_json(doc: dict) -> str:
+    """Canonical byte-identical serialization (same convention as
+    ``repro.bench/1`` and ``repro.chaos/2`` artifacts)."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def render_flight_record(doc: dict) -> str:
+    """Human-readable rendering of a ``repro.monitor/1`` document (the
+    ``python -m repro.obs monitor report`` output)."""
+    lines: List[str] = []
+    context = doc.get("context") or {}
+    ctx = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    lines.append(f"=== flight record [{ctx or 'no context'}] ===")
+    alert = doc.get("alert")
+    if alert is not None:
+        lines.append(
+            f"alert {alert['rule']} ({alert['severity']}) at "
+            f"t={alert['t']}s: {alert['message']}"
+        )
+        lines.append(
+            f"  burn fast={alert['burn_fast']}x slow={alert['burn_slow']}x "
+            f"(threshold {alert['threshold']}x)"
+        )
+    else:
+        lines.append("no triggering alert (manual snapshot)")
+    events = doc.get("events") or []
+    dropped = doc.get("events_dropped", 0)
+    by_type: Dict[str, int] = {}
+    for event in events:
+        by_type[event.get("type", "?")] = by_type.get(event.get("type", "?"), 0) + 1
+    breakdown = ", ".join(f"{n} {t}" for t, n in sorted(by_type.items()))
+    lines.append(
+        f"ring: {len(events)} event(s) ({breakdown or 'empty'}), "
+        f"{dropped} dropped before the window"
+    )
+    for event in events:
+        if event.get("type") in ("fault", "violation", "alert"):
+            fields = {
+                k: v for k, v in sorted(event.items()) if k not in ("t", "type")
+            }
+            detail = ", ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"  t={event.get('t')}s {event['type']}: {detail}")
+    lines.append("monitors at snapshot:")
+    for monitor in doc.get("monitors") or []:
+        status = "ok" if monitor.get("ok") else "VIOLATED"
+        lines.append(
+            f"  {monitor['name']:<24} {status}  "
+            f"({monitor['checked']} checked, "
+            f"{len(monitor['violations'])} violation(s))"
+        )
+    return "\n".join(lines)
+
+
+def validate_flight_record(doc: dict) -> List[str]:
+    """Schema problems in a ``repro.monitor/1`` document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["flight record is not an object"]
+    if doc.get("schema") != MONITOR_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {MONITOR_SCHEMA!r}"
+        )
+    for key in ("context", "fired_at", "alert", "events", "events_dropped",
+                "monitors"):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    events = doc.get("events")
+    if isinstance(events, list):
+        for i, event in enumerate(events):
+            if not isinstance(event, dict) or "type" not in event:
+                problems.append(f"events[{i}] has no type")
+            elif event["type"] not in ("metric", "fault", "violation", "alert"):
+                problems.append(f"events[{i}] has unknown type {event['type']!r}")
+    elif "events" in doc:
+        problems.append("events is not a list")
+    alert = doc.get("alert")
+    if alert is not None:
+        for key in ("t", "rule", "slo", "kind", "severity", "threshold",
+                    "burn_fast", "burn_slow", "message"):
+            if not isinstance(alert, dict) or key not in alert:
+                problems.append(f"alert missing key {key!r}")
+    monitors = doc.get("monitors")
+    if isinstance(monitors, list):
+        for i, monitor in enumerate(monitors):
+            for key in ("name", "ok", "checked", "violations"):
+                if not isinstance(monitor, dict) or key not in monitor:
+                    problems.append(f"monitors[{i}] missing key {key!r}")
+    elif "monitors" in doc:
+        problems.append("monitors is not a list")
+    return problems

@@ -90,6 +90,23 @@ def info(value: float, unit: str = "") -> Dict[str, Any]:
     return metric(value, unit=unit, better=None)
 
 
+def wall_block(duration_s: float, events: int) -> Dict[str, Any]:
+    """The artifact's informational wall-clock block: how long the host
+    took to simulate the run and at what kernel-event rate.
+
+    Deliberately OUTSIDE ``metrics`` — wall time depends on the host, so
+    it is never gated and is the one artifact block exempt from the
+    same-seed byte-identity guarantee."""
+    duration_s = max(float(duration_s), 0.0)
+    return {
+        "duration_s": round(duration_s, 3),
+        "events": int(events),
+        "events_per_s": (
+            round(events / duration_s) if duration_s > 0 else None
+        ),
+    }
+
+
 @dataclass
 class BenchmarkArtifact:
     """One benchmark run's machine-readable result."""
@@ -101,6 +118,9 @@ class BenchmarkArtifact:
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     critical_path: Optional[Dict[str, Any]] = None
+    #: Informational host-side cost (:func:`wall_block`); None keeps the
+    #: artifact fully deterministic (the byte-identity tests' mode).
+    wall: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -112,6 +132,7 @@ class BenchmarkArtifact:
             "metrics": self.metrics,
             "counters": self.counters,
             "critical_path": self.critical_path,
+            "wall": self.wall,
         }
 
     def to_json(self) -> str:
@@ -155,6 +176,15 @@ def validate_artifact(doc: Dict[str, Any]) -> None:
             for key in ("traces", "total_s", "categories_s", "share"):
                 if key not in cp:
                     problems.append(f"critical_path.{key} missing")
+    # "wall" is optional (older artifacts predate it) and informational.
+    wall = doc.get("wall")
+    if wall is not None:
+        if not isinstance(wall, dict):
+            problems.append("wall must be null or an object")
+        else:
+            for key in ("duration_s", "events", "events_per_s"):
+                if key not in wall:
+                    problems.append(f"wall.{key} missing")
     if problems:
         raise ValueError("invalid artifact: " + "; ".join(problems))
 
@@ -319,6 +349,14 @@ def render_artifact(doc: Dict[str, Any]) -> str:
         for category, seconds in ranked:
             share = cp["share"].get(category, 0.0)
             lines.append(f"  {category:<10} {seconds * 1e3:>12.3f} ms  {share:>6.1%}")
+    wall = doc.get("wall")
+    if wall:
+        rate = wall.get("events_per_s")
+        lines.append(
+            f"wall clock: {wall['duration_s']:.3f} s, "
+            f"{wall['events']} kernel events"
+            + (f" ({rate:,} events/s)" if rate else "")
+        )
     return "\n".join(lines)
 
 
@@ -430,6 +468,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor_report(args: argparse.Namespace) -> int:
+    from repro.obs.alerts import render_flight_record, validate_flight_record
+
+    paths = list(args.paths)
+    if not paths:
+        directory = args.records
+        if not os.path.isdir(directory):
+            print(f"[monitor] no flight-record directory {directory!r}",
+                  file=sys.stderr)
+            return 2
+        paths = [
+            os.path.join(directory, entry)
+            for entry in sorted(os.listdir(directory))
+            if entry.endswith(".json")
+        ]
+    if not paths:
+        print("[monitor] nothing to report", file=sys.stderr)
+        return 2
+    bad = 0
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        with open(path) as handle:
+            doc = json.load(handle)
+        problems = validate_flight_record(doc)
+        if problems:
+            bad += 1
+            print(f"[monitor] INVALID {path}: " + "; ".join(problems))
+            continue
+        print(render_flight_record(doc))
+    return 1 if bad else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -465,6 +536,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("paths", nargs="*", help="artifact files (default: all)")
     report.add_argument("--artifacts", default=DEFAULT_ARTIFACT_DIR)
     report.set_defaults(func=_cmd_report)
+
+    monitor = domains.add_parser(
+        "monitor", help="online monitor flight records (repro.monitor/1)"
+    )
+    msub = monitor.add_subparsers(dest="command", required=True)
+    mreport = msub.add_parser(
+        "report", help="validate and pretty-print flight records"
+    )
+    mreport.add_argument(
+        "paths", nargs="*", help="flight-record files (default: all in --records)"
+    )
+    mreport.add_argument("--records", default="bench/monitor",
+                         help="flight-record directory")
+    mreport.set_defaults(func=_cmd_monitor_report)
     return parser
 
 

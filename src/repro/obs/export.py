@@ -47,12 +47,60 @@ def slowest_trace(spans: Iterable[Span]) -> Optional[int]:
 # ----------------------------------------------------------------------
 # Chrome trace_event JSON
 # ----------------------------------------------------------------------
-def to_chrome_trace(spans: Iterable[Span], trace_id: Optional[int] = None) -> str:
+def monitor_instants(alerts=None, transitions=None) -> List[dict]:
+    """Chrome instant events (``ph: "i"``) for SLO alerts and monitor
+    state transitions (repro.monitor).
+
+    ``alerts`` is an iterable of :class:`repro.obs.alerts.Alert` (or
+    their dicts); ``transitions`` is ``AlertManager.transitions``. The
+    events use global scope (``s: "g"``) so the viewer draws them as
+    vertical lines across every lane — pass the result to
+    :func:`to_chrome_trace` via ``instants=`` to overlay "the alert
+    fired HERE" on the causal span timeline."""
+    events: List[dict] = []
+    for alert in alerts or []:
+        d = alert.to_dict() if hasattr(alert, "to_dict") else dict(alert)
+        events.append(
+            {
+                "args": {k: d[k] for k in sorted(d) if k != "t"},
+                "cat": "alert",
+                "name": f"alert:{d['rule']}",
+                "ph": "i",
+                "pid": 0,
+                "s": "g",
+                "tid": 0,
+                "ts": round(d["t"] * _US, 3),
+            }
+        )
+    for tr in transitions or []:
+        events.append(
+            {
+                "args": {"rule": tr["rule"], "state": tr["state"]},
+                "cat": "monitor",
+                "name": f"{tr['rule']}:{tr['state']}",
+                "ph": "i",
+                "pid": 0,
+                "s": "g",
+                "tid": 0,
+                "ts": round(tr["t"] * _US, 3),
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["cat"], e["name"]))
+    return events
+
+
+def to_chrome_trace(
+    spans: Iterable[Span],
+    trace_id: Optional[int] = None,
+    instants: Optional[List[dict]] = None,
+) -> str:
     """Serialize spans as a Chrome ``trace_event`` JSON document.
 
     ``trace_id`` restricts the export to one trace. Each simulated node
     becomes a "process" (named via metadata events); each trace becomes a
     "thread" within it, so concurrent requests stack as separate lanes.
+    ``instants`` adds pre-built instant events (:func:`monitor_instants`)
+    under a dedicated "monitor" process lane (pid 0).
     """
     selected = [s for s in spans if s.finished]
     if trace_id is not None:
@@ -61,6 +109,17 @@ def to_chrome_trace(spans: Iterable[Span], trace_id: Optional[int] = None) -> st
     node_names = sorted({s.node or "?" for s in selected})
     pids = {name: i + 1 for i, name in enumerate(node_names)}
     events: List[dict] = []
+    if instants:
+        events.append(
+            {
+                "args": {"name": "monitor"},
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+            }
+        )
+        events.extend(instants)
     for name in node_names:
         events.append(
             {
@@ -97,8 +156,13 @@ def to_chrome_trace(spans: Iterable[Span], trace_id: Optional[int] = None) -> st
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 
-def write_chrome_trace(path: str, spans: Iterable[Span], trace_id: Optional[int] = None) -> str:
-    text = to_chrome_trace(spans, trace_id=trace_id)
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Span],
+    trace_id: Optional[int] = None,
+    instants: Optional[List[dict]] = None,
+) -> str:
+    text = to_chrome_trace(spans, trace_id=trace_id, instants=instants)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)

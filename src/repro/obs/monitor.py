@@ -1,0 +1,776 @@
+"""Online invariant monitors: incremental guarantee checking inside the DES.
+
+The offline checkers in :mod:`repro.chaos.checkers` replay *full*
+histories after a run ends — exact, but O(history) in memory and useless
+for alerting while the run is still going. This module provides the
+online complement: a :class:`MonitorHub` of incremental monitors fed by
+lightweight event taps in the core components (sequencer, storage,
+engine, gateway) and the client libraries (BokiQueue, BokiFlow's effect
+journal). Each monitor keeps O(1)/O(shards) rolling state — last
+indices, watermarks, per-record sequence accounting bounded by the
+in-flight set — and flags a violation the moment the observed event
+stream can no longer be explained by the guarantee.
+
+Design rules (the project's golden invariant depends on them):
+
+- **Observe, never perturb.** Taps are synchronous attribute calls
+  guarded by ``if component.monitor is not None``; they touch no
+  simulation state, send no messages, and consume no RNG. Same-seed
+  runs are byte-identical with monitors on or off.
+- **Never raise.** A detected violation is recorded and reported; the
+  simulated system keeps running (the flight recorder wants the
+  aftermath too).
+- **Agree with the offline checkers.** Monitors that shadow an offline
+  checker reuse its name (``metalog-consistency``, ``queue-delivery``,
+  ``exactly-once-effects``) and its violation semantics, so verdicts can
+  carry both and tests can assert they agree.
+
+The SLO/alerting layer on top lives in :mod:`repro.obs.alerts`; the
+package surface is re-exported as :mod:`repro.monitor`.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from math import inf
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _value_key(value: Any) -> str:
+    """Canonical hashable form of a message value (mirrors
+    ``repro.chaos.checkers._value_key`` so violations read identically)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class MonitorResult:
+    """Outcome of one online monitor — the same shape as
+    ``repro.chaos.checkers.CheckResult`` (duplicated here rather than
+    imported: ``repro.chaos`` already imports ``repro.obs``)."""
+
+    def __init__(self, name: str, violations: List[str], checked: int):
+        self.name = name
+        self.violations = violations
+        self.checked = checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "checked": self.checked,
+            "violations": list(self.violations),
+        }
+
+
+# ----------------------------------------------------------------------
+# Incremental sample windows
+# ----------------------------------------------------------------------
+class SampleWindow:
+    """Time-ordered ``(t, value)`` samples with windowed queries.
+
+    The incremental core shared by the freshness/latency monitors and the
+    burn-rate rules: O(1) amortized ingest, O(log n) window selection
+    (same bisect semantics as :func:`repro.obs.registry.window_stats`:
+    ``start <= t <= end`` inclusive), optional pruning so long runs keep
+    bounded state.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples: List[Tuple[float, float]] = []
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def record(self, t: float, value: float) -> None:
+        if self.samples and t < self.samples[-1][0]:
+            raise ValueError(
+                f"samples must be time-ordered ({t} < {self.samples[-1][0]})"
+            )
+        self.samples.append((t, value))
+
+    def _bounds(
+        self,
+        window: Optional[float],
+        start: Optional[float],
+        end: Optional[float],
+    ) -> Tuple[int, int]:
+        samples = self.samples
+        if end is None:
+            end = samples[-1][0] if samples else 0.0
+        if window is not None:
+            lookback = end - window
+            start = lookback if start is None else max(start, lookback)
+        lo = 0 if start is None else bisect_left(samples, (start, -inf))
+        hi = bisect_left(samples, (end, inf))
+        return lo, hi
+
+    def values(
+        self,
+        window: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[float]:
+        lo, hi = self._bounds(window, start, end)
+        return [v for _, v in self.samples[lo:hi]]
+
+    def stats(
+        self,
+        window: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        values = self.values(window=window, start=start, end=end)
+        if not values:
+            return {"count": 0, "mean": None, "max": None, "min": None, "last": None}
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+            "min": min(values),
+            "last": values[-1],
+        }
+
+    def quantile(
+        self,
+        q: float,
+        window: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Optional[float]:
+        """Nearest-rank quantile over the window (None when empty)."""
+        values = sorted(self.values(window=window, start=start, end=end))
+        if not values:
+            return None
+        rank = min(len(values) - 1, max(0, int(q * len(values) + 0.5) - 1))
+        return values[rank]
+
+    def prune(self, before: float) -> None:
+        """Drop samples with ``t < before`` (keeps state bounded)."""
+        lo = bisect_left(self.samples, (before, -inf))
+        if lo:
+            del self.samples[:lo]
+
+
+class SuccessWindow(SampleWindow):
+    """Per-operation success accounting: ``(t, ok)`` samples plus a prefix
+    sum of successes, so windowed availability is two bisects and a
+    subtraction instead of a rescan of raw samples.
+
+    This is the windowed counter behind both the online availability
+    monitor and :func:`repro.chaos.liveness.recovery_metrics` — one
+    incremental implementation instead of per-call recomputation.
+    """
+
+    __slots__ = ("_cum_ok", "_ok_completions")
+
+    def __init__(self):
+        super().__init__()
+        self._cum_ok: List[int] = []  # _cum_ok[i] = successes among samples[:i+1]
+        self._ok_completions: List[Tuple[float, float]] = []  # (t_invoke, t_done)
+
+    def record(self, t: float, ok: bool, t_done: Optional[float] = None) -> None:
+        super().record(t, 1.0 if ok else 0.0)
+        prev = self._cum_ok[-1] if self._cum_ok else 0
+        self._cum_ok.append(prev + (1 if ok else 0))
+        if ok and t_done is not None:
+            self._ok_completions.append((t, t_done))
+
+    def counts(
+        self,
+        window: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """``(operations, successes)`` inside the window."""
+        lo, hi = self._bounds(window, start, end)
+        if hi <= lo:
+            return 0, 0
+        ok = self._cum_ok[hi - 1] - (self._cum_ok[lo - 1] if lo else 0)
+        return hi - lo, ok
+
+    def availability(
+        self,
+        window: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Optional[float]:
+        count, ok = self.counts(window=window, start=start, end=end)
+        return ok / count if count else None
+
+    def error_rate(
+        self,
+        window: Optional[float] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Optional[float]:
+        availability = self.availability(window=window, start=start, end=end)
+        return None if availability is None else 1.0 - availability
+
+    def first_ok_after(self, t0: float) -> Optional[float]:
+        """Earliest completion time among successful operations *invoked*
+        at/after ``t0`` (the RTO numerator). None if none succeeded."""
+        lo = bisect_left(self._ok_completions, (t0, -inf))
+        tail = self._ok_completions[lo:]
+        return min(done for _, done in tail) if tail else None
+
+    def prune(self, before: float) -> None:  # pragma: no cover - safety net
+        raise NotImplementedError(
+            "SuccessWindow keeps its full prefix sum; wrap-around pruning "
+            "would silently change availability history"
+        )
+
+
+# ----------------------------------------------------------------------
+# Metalog monotonicity + cross-replica prefix watermarks
+# ----------------------------------------------------------------------
+class MetalogMonitor:
+    """Incremental shadow of ``checkers.check_metalog``.
+
+    Per replica of each ``(term, log)``: entry indices must be contiguous,
+    per-shard progress monotone, and ``start_pos`` must equal the running
+    record total. Across replicas: any two replicas must agree byte-for-
+    byte on every entry index both have appended. Cross-replica state is
+    a *watermark* map — entry digests are retained only for indices not
+    yet confirmed by every replica seen, then dropped, so memory is
+    O(replication lag), not O(log length).
+    """
+
+    name = "metalog-consistency"
+    DIGEST_CAP = 4096  # hard bound on retained in-flight digests per key
+
+    def __init__(self):
+        self.checked = 0
+        self.violations: List[str] = []
+        # (node, term, log) -> [next_index, prev_progress, running_total]
+        self._replica: Dict[Tuple[str, int, int], list] = {}
+        # (term, log) -> {"digests": {index: digest}, "last": {node: index}}
+        self._cross: Dict[Tuple[int, int], dict] = {}
+        # (term, log) -> records ordered so far (for storage reconciliation)
+        self.ordered_total: Dict[Tuple[int, int], int] = {}
+
+    def on_entry(self, node: str, term: int, log_id: int, entry) -> None:
+        self.checked += 1
+        key = (node, term, log_id)
+        state = self._replica.get(key)
+        if state is None:
+            state = self._replica[key] = [0, {}, 0]
+        next_index, prev_progress, running_total = state
+        label = f"{node} ({term},{log_id})"
+        if entry.index != next_index:
+            self.violations.append(
+                f"{label}: entry {next_index} has index {entry.index}"
+            )
+            # Resynchronize on the observed index so one gap does not
+            # cascade into a violation per subsequent entry.
+            state[0] = entry.index + 1
+            state[1] = entry.progress_dict()
+            state[2] = entry.start_pos
+            return
+        progress = entry.progress_dict()
+        for shard in sorted(progress):
+            if progress[shard] < prev_progress.get(shard, 0):
+                self.violations.append(
+                    f"{label} entry {entry.index}: progress for shard {shard} "
+                    f"regressed {prev_progress.get(shard, 0)} -> {progress[shard]}"
+                )
+        if entry.start_pos != running_total:
+            self.violations.append(
+                f"{label} entry {entry.index}: start_pos {entry.start_pos} "
+                f"!= records ordered so far {running_total}"
+            )
+        delta = sum(
+            progress.get(s, 0) - prev_progress.get(s, 0) for s in progress
+        )
+        state[0] = next_index + 1
+        state[1] = progress
+        state[2] = running_total + delta
+        self.ordered_total[(term, log_id)] = max(
+            self.ordered_total.get((term, log_id), 0), state[2]
+        )
+        self._check_cross(node, term, log_id, entry)
+
+    def _check_cross(self, node: str, term: int, log_id: int, entry) -> None:
+        cross = self._cross.get((term, log_id))
+        if cross is None:
+            cross = self._cross[(term, log_id)] = {"digests": {}, "last": {}}
+        digests: Dict[int, tuple] = cross["digests"]
+        digest = (entry.progress, entry.start_pos, entry.trims)
+        known = digests.get(entry.index)
+        if known is None:
+            if len(digests) < self.DIGEST_CAP:
+                digests[entry.index] = digest
+        elif known != digest:
+            self.violations.append(
+                f"({term},{log_id}) entry {entry.index}: replica {node} "
+                f"diverges from the agreed prefix"
+            )
+        cross["last"][node] = max(cross["last"].get(node, -1), entry.index)
+        # Advance the watermark: once every replica seen so far has passed
+        # an index, its digest can never be contradicted again — drop it.
+        if len(cross["last"]) >= 2:
+            watermark = min(cross["last"].values())
+            for index in [i for i in digests if i <= watermark]:
+                del digests[index]
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(self.name, list(self.violations), self.checked)
+
+
+# ----------------------------------------------------------------------
+# Queue no-loss / no-duplicate delivery
+# ----------------------------------------------------------------------
+class QueueMonitor:
+    """Incremental shadow of ``checkers.check_queue_delivery``.
+
+    Per-record sequence accounting: every acknowledged push is tracked as
+    ``value -> (shard, push seqnum)`` until its delivery is confirmed, at
+    which point the entry is retired — state is bounded by the in-flight
+    backlog, not the run length. Per shard, delivered push seqnums must
+    be strictly increasing (FIFO replay delivers oldest-first), which
+    catches a duplicate or reordered delivery in O(1) at the pop that
+    exhibits it. Losses are only decidable once the scenario drains the
+    queue; ``finish(drained=True)`` flushes them.
+    """
+
+    name = "queue-delivery"
+
+    def __init__(self):
+        self.checked = 0
+        self.violations: List[str] = []
+        # value key -> [shard, seqnum or None, status, delivered]
+        # status: "inflight" | "acked" | "failed"
+        self._pending: Dict[str, list] = {}
+        # (queue, shard) -> last delivered push seqnum
+        self._last_delivered: Dict[Tuple[str, int], int] = {}
+        self.pushes = 0
+        self.pops = 0
+        self.delivered = 0
+
+    def on_push_attempt(self, queue: str, shard: int, value: Any) -> None:
+        self.checked += 1
+        self.pushes += 1
+        key = _value_key(value)
+        if key in self._pending:
+            # Monitoring relies on the scenarios' unique-payload convention
+            # (the offline checker does too).
+            self.violations.append(
+                f"value {key} pushed twice: payloads must be unique for "
+                f"delivery accounting"
+            )
+            return
+        self._pending[key] = [shard, None, "inflight", 0]
+
+    def on_push_ack(self, queue: str, shard: int, value: Any, seqnum: int) -> None:
+        entry = self._pending.get(_value_key(value))
+        if entry is None:
+            return
+        entry[1] = seqnum
+        entry[2] = "acked"
+        if entry[3]:  # delivered before the ack raced back to the producer
+            self._retire(queue, value, entry)
+
+    def on_push_fail(self, queue: str, shard: int, value: Any) -> None:
+        entry = self._pending.get(_value_key(value))
+        if entry is not None and entry[2] == "inflight":
+            entry[2] = "failed"  # indeterminate: may surface zero or one time
+
+    def on_pop(self, queue: str, shard: int, value: Any) -> None:
+        self.checked += 1
+        self.pops += 1
+        if value is None:
+            return  # empty poll: no delivery to account
+        key = _value_key(value)
+        entry = self._pending.get(key)
+        if entry is None:
+            self.violations.append(
+                f"value {key} popped but never pushed, or already delivered "
+                f"(phantom/duplicate)"
+            )
+            return
+        if entry[3]:
+            self.violations.append(
+                f"value {key} popped {entry[3] + 1} times (duplicate delivery)"
+            )
+            entry[3] += 1
+            return
+        entry[3] = 1
+        self.delivered += 1
+        if entry[1] is not None:
+            self._check_order(queue, shard, key, entry[1])
+            self._retire(queue, value, entry)
+        # else: delivery observed before the push ack (the record was
+        # durable; only the producer's ack message is still in flight) —
+        # retired when on_push_ack arrives.
+
+    def _check_order(self, queue: str, shard: int, key: str, seqnum: int) -> None:
+        last = self._last_delivered.get((queue, shard), -1)
+        if seqnum <= last:
+            self.violations.append(
+                f"shard {shard} of {queue!r}: delivered push seqnum {seqnum} "
+                f"<= previously delivered {last} (duplicate or reorder)"
+            )
+        else:
+            self._last_delivered[(queue, shard)] = seqnum
+
+    def _retire(self, queue: str, value: Any, entry: list) -> None:
+        self._pending.pop(_value_key(value), None)
+
+    def finish(self, drained: bool = True) -> None:
+        """Flush loss checks: with the queue drained, an acknowledged push
+        still pending delivery is a lost message."""
+        if not drained:
+            self._pending.clear()
+            return
+        for key in sorted(self._pending):
+            shard, seqnum, status, delivered = self._pending[key]
+            if status == "acked" and not delivered:
+                self.violations.append(
+                    f"value {key} acknowledged but never popped (lost)"
+                )
+        self._pending.clear()
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(self.name, list(self.violations), self.checked)
+
+
+# ----------------------------------------------------------------------
+# BokiFlow exactly-once effect application
+# ----------------------------------------------------------------------
+class FlowMonitor:
+    """Incremental shadow of ``checkers.check_exactly_once``: the database
+    reports every *applied* update that carries an effect id; a repeat of
+    an already-applied id is flagged at the exact write that duplicates
+    it. State is one set entry per workflow step (bounded by workload
+    size, not history length — ids retire with their workflows offline,
+    but the scenarios here are short enough to keep them all)."""
+
+    name = "exactly-once-effects"
+
+    def __init__(self):
+        self.checked = 0
+        self.violations: List[str] = []
+        self._applied: Dict[str, int] = {}
+
+    def on_effect(self, effect_id: Any, table: str, key: Any) -> None:
+        self.checked += 1
+        eid_key = _value_key(
+            list(effect_id) if isinstance(effect_id, tuple) else effect_id
+        )
+        count = self._applied.get(eid_key, 0) + 1
+        self._applied[eid_key] = count
+        if count > 1:
+            self.violations.append(
+                f"effect {eid_key} applied {count} times (duplicate)"
+            )
+
+    def finish(self, expected_effects: Optional[List[Any]] = None) -> None:
+        for eid in expected_effects or []:
+            eid_key = _value_key(list(eid) if isinstance(eid, tuple) else eid)
+            if self._applied.get(eid_key, 0) == 0:
+                self.violations.append(f"effect {eid_key} never applied (lost write)")
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(self.name, list(self.violations), self.checked)
+
+
+# ----------------------------------------------------------------------
+# Read freshness: append -> readable lag per shard
+# ----------------------------------------------------------------------
+class FreshnessMonitor:
+    """Measures the append->readable lag: the virtual time between an
+    engine accepting an append and the record becoming readable (its
+    covering metalog entry applied locally). One in-flight entry per
+    outstanding append; one :class:`SampleWindow` per shard. Sealed terms
+    abort their in-flight appends — those are discarded, not counted."""
+
+    name = "read-freshness"
+
+    def __init__(self, max_age: float = 60.0):
+        self.checked = 0
+        self.violations: List[str] = []
+        self.max_age = max_age
+        self._inflight: Dict[Tuple[str, int], float] = {}
+        self.per_shard: Dict[str, SampleWindow] = {}
+        self.overall = SampleWindow()
+        self.aborted = 0
+
+    def on_append_start(self, shard: str, local_id: int, t: float) -> None:
+        self._inflight[(shard, local_id)] = t
+
+    def on_append_done(self, shard: str, local_id: int, t: float) -> None:
+        t0 = self._inflight.pop((shard, local_id), None)
+        if t0 is None:
+            return
+        self.checked += 1
+        lag = t - t0
+        if lag < 0:
+            self.violations.append(
+                f"shard {shard} append {local_id}: negative freshness lag {lag}"
+            )
+            return
+        window = self.per_shard.get(shard)
+        if window is None:
+            window = self.per_shard[shard] = SampleWindow()
+        window.record(t, lag)
+        self.overall.record(t, lag)
+        if self.overall.samples and t - self.overall.samples[0][0] > 4 * self.max_age:
+            cutoff = t - self.max_age
+            self.overall.prune(cutoff)
+            for w in self.per_shard.values():
+                w.prune(cutoff)
+
+    def on_append_abort(self, shard: str, local_id: int) -> None:
+        if self._inflight.pop((shard, local_id), None) is not None:
+            self.aborted += 1
+
+    def summary(self) -> dict:
+        stats = self.overall.stats()
+        return {
+            "appends": self.checked,
+            "aborted": self.aborted,
+            "mean_s": round(stats["mean"], 9) if stats["count"] else None,
+            "max_s": round(stats["max"], 9) if stats["count"] else None,
+            "p99_s": (
+                round(self.overall.quantile(0.99), 9)
+                if stats["count"] else None
+            ),
+            "shards": len(self.per_shard),
+        }
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(self.name, list(self.violations), self.checked)
+
+
+# ----------------------------------------------------------------------
+# Storage record-count reconciliation
+# ----------------------------------------------------------------------
+class StorageMonitor:
+    """Record-count reconciliation between storage nodes and the metalog.
+
+    Every storage apply carries ``(term, log, shard, position)``. A node
+    backs only some shards of a log, so its applied positions are sparse
+    — but still strictly increasing within one node incarnation (state
+    is keyed by the node's crash count: a restarted node legitimately
+    re-applies from scratch). Two invariants are *violations*:
+
+    - a node applies the same or an earlier position again without
+      having crashed (duplicate apply);
+    - a node applies a position the metalog has not ordered yet
+      (phantom ordering — checked against the metalog monitor's running
+      totals, which are updated before the entry is broadcast).
+
+    Cross-node record-count reconciliation — per ``(term, log, shard)``,
+    how many records each backing node applied vs the metalog's ordered
+    total — is reported in :meth:`summary` rather than flagged: in-flight
+    broadcasts and crash-lost replicas make transient disagreement
+    legitimate, so it is a diagnostic, not an invariant."""
+
+    name = "record-reconciliation"
+
+    def __init__(self, metalog: Optional[MetalogMonitor] = None):
+        self.checked = 0
+        self.violations: List[str] = []
+        self._metalog = metalog
+        # (storage, incarnation, term, log) -> last applied position
+        self._last_pos: Dict[Tuple[str, int, int, int], int] = {}
+        # (term, log) -> {storage -> applied record count}
+        self._counts: Dict[Tuple[int, int], Dict[str, int]] = {}
+
+    def on_apply(
+        self, storage: str, incarnation: int, term: int, log_id: int,
+        shard: str, pos: int,
+    ) -> None:
+        self.checked += 1
+        key = (storage, incarnation, term, log_id)
+        last = self._last_pos.get(key)
+        label = f"{storage} ({term},{log_id})"
+        if last is not None and pos <= last:
+            self.violations.append(
+                f"{label}: applied position {pos} <= already applied "
+                f"{last} (duplicate apply)"
+            )
+            return
+        self._last_pos[key] = pos
+        counts = self._counts.setdefault((term, log_id), {})
+        counts[storage] = counts.get(storage, 0) + 1
+        if self._metalog is not None:
+            ordered = self._metalog.ordered_total.get((term, log_id))
+            if ordered is not None and pos >= ordered:
+                self.violations.append(
+                    f"{label}: applied position {pos} but the metalog has "
+                    f"only ordered {ordered} records"
+                )
+
+    def finish(self) -> None:
+        pass  # reconciliation is reported via summary(), not violations
+
+    def summary(self) -> dict:
+        """Per-log reconciliation: metalog ordered total vs per-node
+        applied counts (JSON-serializable, deterministic order)."""
+        out = {}
+        for key in sorted(self._counts):
+            term, log_id = key
+            ordered = (
+                self._metalog.ordered_total.get(key)
+                if self._metalog is not None else None
+            )
+            out[f"{term}:{log_id}"] = {
+                "ordered": ordered,
+                "applied": dict(sorted(self._counts[key].items())),
+            }
+        return out
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(self.name, list(self.violations), self.checked)
+
+
+# ----------------------------------------------------------------------
+# The hub: tap fan-in + verdict assembly
+# ----------------------------------------------------------------------
+class MonitorHub:
+    """Fan-in point for every event tap, owner of the per-guarantee
+    monitors, and (optionally) host of the alerting layer.
+
+    Components hold ``self.monitor = None`` by default; wiring a hub in
+    (``BokiCluster.enable_monitoring``) swaps the attribute, and every tap
+    site is guarded by ``if self.monitor is not None`` — the disabled path
+    costs one attribute load."""
+
+    def __init__(self, env=None):
+        self.env = env
+        self.metalog = MetalogMonitor()
+        self.queue = QueueMonitor()
+        self.flow = FlowMonitor()
+        self.freshness = FreshnessMonitor()
+        self.storage = StorageMonitor(metalog=self.metalog)
+        self.availability = SuccessWindow()
+        self.latency_ms = SampleWindow()
+        self.events_seen = 0
+        self.alerts = None      # AlertManager, attached by enable_monitoring
+        self.recorder = None    # FlightRecorder, attached by enable_monitoring
+        self._finished = False
+
+    # -- taps (called synchronously from the components) ---------------
+    def _forward_violations(self, monitor, before: int) -> None:
+        """New violations go to the flight recorder as they happen."""
+        if self.recorder is not None and len(monitor.violations) > before:
+            t = self.env.now if self.env is not None else 0.0
+            for message in monitor.violations[before:]:
+                self.recorder.on_violation(t, monitor.name, message)
+
+    def on_metalog_entry(self, node: str, term: int, log_id: int, entry) -> None:
+        self.events_seen += 1
+        before = len(self.metalog.violations)
+        self.metalog.on_entry(node, term, log_id, entry)
+        self._forward_violations(self.metalog, before)
+
+    def on_storage_apply(
+        self, storage: str, incarnation: int, term: int, log_id: int,
+        shard: str, pos: int,
+    ) -> None:
+        self.events_seen += 1
+        before = len(self.storage.violations)
+        self.storage.on_apply(storage, incarnation, term, log_id, shard, pos)
+        self._forward_violations(self.storage, before)
+
+    def on_append_start(self, shard: str, local_id: int, t: float) -> None:
+        self.events_seen += 1
+        self.freshness.on_append_start(shard, local_id, t)
+
+    def on_append_done(self, shard: str, local_id: int, t: float) -> None:
+        self.events_seen += 1
+        self.freshness.on_append_done(shard, local_id, t)
+
+    def on_append_abort(self, shard: str, local_id: int) -> None:
+        self.events_seen += 1
+        self.freshness.on_append_abort(shard, local_id)
+
+    def on_queue_push_attempt(self, queue: str, shard: int, value: Any) -> None:
+        self.events_seen += 1
+        self.queue.on_push_attempt(queue, shard, value)
+
+    def on_queue_push_ack(self, queue: str, shard: int, value: Any, seqnum: int) -> None:
+        self.events_seen += 1
+        self.queue.on_push_ack(queue, shard, value, seqnum)
+
+    def on_queue_push_fail(self, queue: str, shard: int, value: Any) -> None:
+        self.events_seen += 1
+        self.queue.on_push_fail(queue, shard, value)
+
+    def on_queue_pop(self, queue: str, shard: int, value: Any) -> None:
+        self.events_seen += 1
+        before = len(self.queue.violations)
+        self.queue.on_pop(queue, shard, value)
+        self._forward_violations(self.queue, before)
+
+    def on_effect(self, effect_id: Any, table: str, key: Any) -> None:
+        self.events_seen += 1
+        before = len(self.flow.violations)
+        self.flow.on_effect(effect_id, table, key)
+        self._forward_violations(self.flow, before)
+
+    def on_invoke(self, t_start: float, t_end: float, ok: bool) -> None:
+        """Gateway client operation completed (or failed).
+
+        Samples are keyed by *completion* time: overlapping operations
+        complete out of invoke order, and completion time is the moment
+        the outcome is known (what burn-rate windows measure anyway)."""
+        self.events_seen += 1
+        self.availability.record(t_end, ok, t_done=t_end if ok else None)
+        if ok:
+            self.latency_ms.record(t_end, (t_end - t_start) * 1e3)
+        if self.recorder is not None:
+            self.recorder.on_metric(
+                t_end, "gateway.op",
+                {"ok": ok, "latency_ms": round((t_end - t_start) * 1e3, 6)},
+            )
+
+    def on_fault(self, entry: dict) -> None:
+        """Fault injector applied an event (already timeline-shaped)."""
+        self.events_seen += 1
+        if self.recorder is not None:
+            self.recorder.on_fault(entry)
+
+    # -- verdict assembly ----------------------------------------------
+    def monitors(self) -> List:
+        return [self.metalog, self.queue, self.flow, self.freshness, self.storage]
+
+    def results(self) -> List[MonitorResult]:
+        return [m.result() for m in self.monitors()]
+
+    def finish(
+        self,
+        drained: bool = True,
+        expected_effects: Optional[List[Any]] = None,
+    ) -> None:
+        """Run the end-of-run flushes (loss checks need quiescence)."""
+        if self._finished:
+            return
+        self._finished = True
+        self.queue.finish(drained=drained)
+        self.flow.finish(expected_effects=expected_effects)
+        self.storage.finish()
+
+    def verdict(self) -> dict:
+        """Deterministic JSON-serializable online verdict (the ``online``
+        key of a ``repro.chaos/2`` artifact)."""
+        checks = [m.result().to_dict() for m in self.monitors()]
+        doc = {
+            "enabled": True,
+            "events_seen": self.events_seen,
+            "checks": checks,
+            "passed": all(c["ok"] for c in checks),
+            "freshness": self.freshness.summary(),
+            "reconciliation": self.storage.summary(),
+            "alerts": (
+                [a.to_dict() for a in self.alerts.alerts]
+                if self.alerts is not None else []
+            ),
+        }
+        return doc

@@ -1,0 +1,273 @@
+"""Unit tests for the alerting layer, the flight recorder, and the
+monitor-adjacent satellite pieces (wall block, Chrome instants, the
+SuccessWindow-backed liveness metrics)."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.chaos.history import History
+from repro.chaos.liveness import recovery_metrics
+from repro.chaos.runner import flight_records, run_scenario
+from repro.obs.alerts import (
+    Alert,
+    AlertManager,
+    BurnRateRule,
+    FlightRecorder,
+    MONITOR_SCHEMA,
+    SLO,
+    default_rules,
+    flight_record_to_json,
+    render_flight_record,
+    validate_flight_record,
+)
+from repro.obs.bench import BenchmarkArtifact, validate_artifact, wall_block
+from repro.obs.export import monitor_instants, to_chrome_trace
+from repro.obs.monitor import MonitorHub, SuccessWindow
+from repro.obs.registry import MetricsRegistry
+
+pytestmark = [pytest.mark.monitor]
+
+FLIGHT_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "bench",
+                          "monitor")
+
+
+class _FakeEnv:
+    now = 0.0
+
+
+def _hub():
+    return MonitorHub(_FakeEnv())
+
+
+# ----------------------------------------------------------------------
+# Burn-rate rules + alert manager
+# ----------------------------------------------------------------------
+class TestBurnRate:
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO("a", "availability", 1.5)
+        with pytest.raises(ValueError):
+            SLO("a", "bogus", 0.9)
+        with pytest.raises(ValueError):
+            SLO("l", "latency_p99_ms", -1.0)
+
+    def test_availability_burn_fires_on_error_budget_exhaustion(self):
+        hub = _hub()
+        rule = BurnRateRule(SLO("avail", "availability", 0.9),
+                            fast_window=2.0, slow_window=10.0, threshold=2.0)
+        manager = AlertManager(hub, rules=[rule], interval=0.05)
+        # 10 ops, all failing: error rate 1.0 / budget 0.1 = 10x burn.
+        for i in range(10):
+            hub.on_invoke(i * 0.1, i * 0.1 + 0.001, ok=False)
+        fired = manager.evaluate(now=1.0)
+        assert [a.rule for a in fired] == ["avail-burn"]
+        # Still firing: no re-page on the next evaluation.
+        assert manager.evaluate(now=1.05) == []
+        # Recovery: enough successes drop both windows below threshold.
+        for i in range(200):
+            hub.on_invoke(1.1 + i * 0.01, 1.1 + i * 0.01, ok=True)
+        assert manager.evaluate(now=11.5) == []
+        assert manager.transitions[-1]["state"] == "ok"
+
+    def test_min_events_guard_suppresses_thin_windows(self):
+        hub = _hub()
+        rule = BurnRateRule(SLO("avail", "availability", 0.9),
+                            fast_window=2.0, slow_window=10.0, threshold=2.0,
+                            min_events=5)
+        manager = AlertManager(hub, rules=[rule])
+        for i in range(3):  # fewer than min_events: never judged
+            hub.on_invoke(i * 0.1, i * 0.1, ok=False)
+        assert manager.evaluate(now=1.0) == []
+
+    def test_duplicate_rule_names_rejected(self):
+        hub = _hub()
+        rule = default_rules()[0]
+        with pytest.raises(ValueError):
+            AlertManager(hub, rules=[rule, rule])
+
+    def test_latency_burn_uses_p99(self):
+        hub = _hub()
+        rule = BurnRateRule(SLO("lat", "latency_p99_ms", 10.0),
+                            fast_window=2.0, slow_window=10.0, threshold=1.0)
+        manager = AlertManager(hub, rules=[rule])
+        for i in range(20):  # 50ms operations against a 10ms objective
+            hub.on_invoke(i * 0.1, i * 0.1 + 0.05, ok=True)
+        fired = manager.evaluate(now=2.0)
+        assert [a.rule for a in fired] == ["lat-burn"]
+        assert fired[0].burn_fast > 1.0
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.on_metric(i * 0.1, "m", {"i": i})
+        assert len(recorder.ring) == 4
+        assert recorder.dropped == 6
+
+    def test_snapshot_on_alert_is_valid_and_deterministic(self):
+        recorder = FlightRecorder(capacity=8, context={"scenario": "unit"})
+        recorder.on_metric(0.1, "gateway.op", {"ok": True, "latency_ms": 1.0})
+        recorder.on_violation(0.2, "queue-delivery", "boom")
+        alert = Alert(t=0.3, rule="avail-burn", slo="avail",
+                      kind="availability", severity="page", threshold=2.0,
+                      burn_fast=5.0, burn_slow=4.0, message="burning")
+        recorder.on_alert(alert)
+        assert len(recorder.snapshots) == 1
+        doc = recorder.snapshots[0]
+        assert doc["schema"] == MONITOR_SCHEMA
+        assert validate_flight_record(doc) == []
+        assert flight_record_to_json(doc) == flight_record_to_json(
+            json.loads(flight_record_to_json(doc)))
+        text = render_flight_record(doc)
+        assert "avail-burn" in text and "queue-delivery" in text
+
+    def test_validate_rejects_malformed_docs(self):
+        assert validate_flight_record({"schema": "nope"})
+        assert validate_flight_record(
+            {"schema": MONITOR_SCHEMA, "events": [{"no": "type"}]}
+        )
+
+
+class TestCommittedFlightRecords:
+    def test_committed_records_exist_and_validate(self):
+        paths = sorted(glob.glob(os.path.join(FLIGHT_DIR, "monitor_*.json")))
+        assert paths, "no committed flight-recorder artifacts in bench/monitor"
+        for path in paths:
+            with open(path) as handle:
+                doc = json.load(handle)
+            assert validate_flight_record(doc) == [], path
+            assert doc["alert"] is not None, path
+
+    def test_rerun_reproduces_committed_record_byte_identically(self):
+        name = "storage-node-flap"
+        run_scenario(name, seed=0)
+        docs = flight_records()
+        assert len(docs) == 1
+        path = os.path.join(FLIGHT_DIR, f"monitor_{name}_seed0_alert0.json")
+        with open(path) as handle:
+            committed = handle.read()
+        assert flight_record_to_json(docs[0]) == committed, (
+            f"flight record for {name} drifted; regenerate with: "
+            f"python -m repro.chaos run {name} --flight-dir bench/monitor"
+        )
+
+
+# ----------------------------------------------------------------------
+# Satellite: wall-clock block in repro.bench/1
+# ----------------------------------------------------------------------
+class TestWallBlock:
+    def test_shape_and_rates(self):
+        block = wall_block(2.0, 1000)
+        assert block == {"duration_s": 2.0, "events": 1000,
+                         "events_per_s": 500}
+        assert wall_block(0.0, 5)["events_per_s"] is None
+
+    def test_artifact_accepts_and_defaults_wall(self):
+        base = dict(benchmark_id="b", title="t", seed=0, config={},
+                    metrics={"m": {"value": 1.0, "unit": "x",
+                                   "direction": "higher"}})
+        plain = BenchmarkArtifact(**base)
+        assert plain.to_dict()["wall"] is None
+        validate_artifact(plain.to_dict())
+        timed = BenchmarkArtifact(**base, wall=wall_block(1.5, 300))
+        validate_artifact(timed.to_dict())
+        # wall is informational: metric payloads are unaffected.
+        assert timed.to_dict()["metrics"] == plain.to_dict()["metrics"]
+
+    def test_validate_rejects_malformed_wall(self):
+        base = dict(benchmark_id="b", title="t", seed=0, config={},
+                    metrics={"m": {"value": 1.0, "unit": "x",
+                                   "direction": "higher"}})
+        doc = BenchmarkArtifact(**base).to_dict()
+        doc["wall"] = {"duration_s": 1.0}  # missing keys
+        with pytest.raises(ValueError):
+            validate_artifact(doc)
+
+
+# ----------------------------------------------------------------------
+# Satellite: Chrome-trace instant events
+# ----------------------------------------------------------------------
+class TestMonitorInstants:
+    def test_alerts_and_transitions_become_instants(self):
+        alert = Alert(t=0.25, rule="avail-burn", slo="avail",
+                      kind="availability", severity="page", threshold=2.0,
+                      burn_fast=3.0, burn_slow=2.5, message="m")
+        transitions = [{"t": 0.25, "rule": "avail-burn", "state": "firing"},
+                       {"t": 0.90, "rule": "avail-burn", "state": "ok"}]
+        instants = monitor_instants([alert], transitions)
+        assert [e["ph"] for e in instants] == ["i", "i", "i"]
+        assert all(e["s"] == "g" and e["pid"] == 0 for e in instants)
+        assert instants[0]["ts"] == instants[1]["ts"] == 0.25 * 1e6
+        assert instants[-1]["name"] == "avail-burn:ok"
+
+    def test_instants_land_in_the_trace_with_a_monitor_lane(self):
+        instants = monitor_instants(
+            [], [{"t": 0.1, "rule": "r", "state": "firing"}])
+        doc = json.loads(to_chrome_trace([], instants=instants))
+        events = doc["traceEvents"]
+        lanes = [e for e in events if e["ph"] == "M" and e["pid"] == 0]
+        assert lanes and lanes[0]["args"]["name"] == "monitor"
+        assert any(e["ph"] == "i" for e in events)
+
+    def test_trace_without_instants_is_unchanged(self):
+        assert json.loads(to_chrome_trace([]))["traceEvents"] == []
+
+
+# ----------------------------------------------------------------------
+# Satellite: SuccessWindow-backed recovery metrics
+# ----------------------------------------------------------------------
+class TestRecoveryMetricsRefactor:
+    def _history(self, env_times):
+        history = History(env=None)
+
+        class FakeEnv:
+            now = 0.0
+
+        history.env = FakeEnv()
+        for kind, t_invoke, t_return, ok in env_times:
+            history.env.now = t_invoke
+            op = history.invoke("c", kind, "k", 1)
+            history.env.now = t_return
+            (history.ok if ok else history.fail)(op, "x")
+        return history
+
+    def test_success_window_path_agrees_with_gauge_window(self):
+        """The refactored recovery_metrics (SuccessWindow) must agree
+        with the old MetricsRegistry gauge computation on the same ops."""
+        ops = [("op", 0.1, 0.2, True),
+               ("op", 1.0, 1.1, False),
+               ("op", 1.2, 1.6, True),
+               ("op", 1.7, 1.8, True),
+               ("op", 2.0, 2.4, False)]
+        fault_at = 0.5
+        metrics = recovery_metrics(self._history(ops), fault_at=fault_at)
+
+        registry = MetricsRegistry()
+        gauge = registry.gauge("recovery.op_ok")
+        first_ok = None
+        for _, t_invoke, t_return, ok in ops:
+            if t_invoke < fault_at:
+                continue
+            gauge.record(t_invoke, 1.0 if ok else 0.0)
+            if ok and (first_ok is None or t_return < first_ok):
+                first_ok = t_return
+        stats = registry.gauge_window("recovery.op_ok", start=fault_at)
+        assert metrics["window_ops"] == stats["count"]
+        assert metrics["window_ok"] == int(sum(v for _, v in gauge.samples))
+        assert metrics["availability"] == round(stats["mean"], 6)
+        assert metrics["rto_s"] == round(first_ok - fault_at, 6)
+
+    def test_success_window_and_metrics_share_counts(self):
+        window = SuccessWindow()
+        for t, ok in [(1.0, False), (1.2, True), (1.7, True)]:
+            window.record(t, ok, t_done=t + 0.1 if ok else None)
+        assert window.counts(start=0.5) == (3, 2)
+        assert window.availability(start=0.5) == pytest.approx(2 / 3)
+        assert window.first_ok_after(0.5) == pytest.approx(1.3)

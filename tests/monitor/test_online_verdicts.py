@@ -1,0 +1,101 @@
+"""Online monitor verdicts across the full scenario catalog.
+
+Three properties per committed scenario, all from the same pair of runs:
+
+- the seed-0 verdict (monitors on) is byte-identical to its committed
+  golden in ``bench/chaos/`` — the determinism guarantee CI relies on;
+- the online monitors agree with the offline checkers on every guarantee
+  both sides check (the incremental shadows are faithful);
+- monitors observe, never perturb: the verdict minus its ``online``
+  block is byte-identical with monitors on or off.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos.runner import run_scenario, validate_verdict, verdict_to_json
+from repro.chaos.scenarios import SCENARIOS, all_scenarios
+
+pytestmark = [pytest.mark.chaos, pytest.mark.monitor]
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "bench", "chaos")
+
+#: Guarantees checked both offline (checkers.*) and online (monitor.*),
+#: by the name shared between the two verdict blocks.
+SHARED_CHECKS = ("metalog-consistency", "queue-delivery", "exactly-once-effects")
+
+#: Checks only the online monitors make (no offline counterpart).
+ONLINE_ONLY = ("read-freshness", "record-reconciliation")
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    """One monitored + one unmonitored seed-0 run per scenario, shared by
+    every test in the module (the sweep dominates the suite's runtime)."""
+    docs = {}
+    for name in all_scenarios():
+        docs[name] = (
+            run_scenario(name, seed=0, monitors=True),
+            run_scenario(name, seed=0, monitors=False),
+        )
+    return docs
+
+
+@pytest.mark.parametrize("name", all_scenarios())
+def test_seed0_verdict_matches_committed_golden(name, verdicts):
+    golden = os.path.join(GOLDEN_DIR, f"chaos_{name}_seed0.json")
+    with open(golden) as handle:
+        committed = handle.read()
+    assert json.loads(committed)["passed"] is True
+    assert verdict_to_json(verdicts[name][0]) == committed, (
+        f"seed-0 verdict for {name} drifted from the committed golden; "
+        f"regenerate with: python -m repro.chaos run all --seed 0"
+    )
+
+
+@pytest.mark.parametrize("name", all_scenarios())
+def test_online_agrees_with_offline(name, verdicts):
+    """Per shared guarantee, the online ok-flag equals the offline one;
+    online-only checks are present; and the overall online verdict passes
+    exactly when no online check found violations."""
+    doc = verdicts[name][0]
+    validate_verdict(doc)
+    online = doc["online"]
+    assert online["enabled"] is True
+    assert online["events_seen"] > 0
+    offline_ok = {c["name"]: not c["violations"] for c in doc["checks"]}
+    online_ok = {c["name"]: c["ok"] for c in online["checks"]}
+    for check in SHARED_CHECKS:
+        if check in offline_ok:
+            assert online_ok[check] == offline_ok[check], (
+                f"{name}: online {check}={online_ok[check]} but offline "
+                f"found {'no ' if offline_ok[check] else ''}violations"
+            )
+    for check in ONLINE_ONLY:
+        assert check in online_ok, f"{name}: missing online check {check}"
+    assert online["passed"] == all(online_ok.values())
+
+
+@pytest.mark.parametrize("name", all_scenarios())
+def test_monitors_do_not_perturb_the_verdict(name, verdicts):
+    """Everything except the ``online`` block must be byte-identical with
+    monitors on or off — checks, timeline, stats, recovery."""
+    on, off = verdicts[name]
+    assert off["online"] == {"enabled": False}
+    stripped_on = {k: v for k, v in on.items() if k != "online"}
+    stripped_off = {k: v for k, v in off.items() if k != "online"}
+    assert verdict_to_json(stripped_on) == verdict_to_json(stripped_off)
+
+
+def test_expected_violation_scenario_fails_online_too():
+    """The one expect-violations scenario (unsafe retries double-apply
+    effects) must be caught by the online exactly-once monitor as well."""
+    name = "unsafe-flow-crash-retry"
+    assert SCENARIOS[name].expect_violations
+    doc = run_scenario(name, seed=0)
+    online = doc["online"]
+    assert online["passed"] is False
+    failed = [c["name"] for c in online["checks"] if not c["ok"]]
+    assert failed == ["exactly-once-effects"]

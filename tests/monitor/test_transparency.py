@@ -1,0 +1,77 @@
+"""Monitors observe, never perturb: fault-free byte-identity and no RNG.
+
+Mirrors the resilience layer's ``TestFaultFreeTransparency`` — the same
+seed with monitors + alerting enabled must produce a byte-identical
+simulation (virtual clock, message count, operation history) and leave
+every RNG stream untouched, because the taps are synchronous attribute
+calls and the alert evaluator only reads windows.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.history import History
+from repro.chaos.scenarios import (
+    _drive_all,
+    _gateway_store_clients,
+    _register_store_fn,
+)
+from repro.core.cluster import BokiCluster
+
+pytestmark = [pytest.mark.chaos, pytest.mark.monitor]
+
+
+def _run(monitored, seed=5):
+    """Identical fault-free gateway store workload; returns the cluster
+    and a comparable fingerprint of the whole run."""
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3,
+        num_sequencer_nodes=3, seed=seed,
+    )
+    if monitored:
+        cluster.enable_monitoring(context={"test": "transparency"})
+    cluster.boot()
+    history = History(cluster.env)
+    _register_store_fn(cluster)
+    procs = _gateway_store_clients(cluster, history, num_clients=2,
+                                   ops_per_client=10)
+    _drive_all(cluster, procs, limit=300.0)
+    fingerprint = json.dumps({
+        "now": round(cluster.env.now, 9),
+        "messages_sent": cluster.net.messages_sent,
+        "history": history.to_dicts(),
+    }, sort_keys=True)
+    return cluster, fingerprint
+
+
+def test_monitoring_invisible_to_the_simulation():
+    _, plain = _run(monitored=False)
+    monitored_cluster, monitored = _run(monitored=True)
+    assert plain == monitored
+    # The monitors actually saw the run (this is not a vacuous pass).
+    hub = monitored_cluster.monitor
+    assert hub.events_seen > 0
+    assert hub.alerts.evaluations > 0
+    assert all(r.ok for r in hub.results())
+
+
+def test_monitoring_consumes_no_rng():
+    """Same streams created, every stream's state identical — monitors
+    and the alert loop never draw randomness."""
+    states = []
+    for monitored in (False, True):
+        cluster, _ = _run(monitored=monitored)
+        states.append({
+            name: rng.getstate()
+            for name, rng in cluster.streams._streams.items()
+        })
+    assert sorted(states[0]) == sorted(states[1])
+    for name in states[0]:
+        assert states[0][name] == states[1][name], f"stream {name} diverged"
+
+
+def test_no_alerts_fire_on_a_healthy_run():
+    cluster, _ = _run(monitored=True)
+    assert cluster.monitor.alerts.alerts == []
+    assert cluster.monitor.recorder.snapshots == []
