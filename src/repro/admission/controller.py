@@ -1,0 +1,227 @@
+"""Admission controllers: the gateway-side limiter and node-side windows.
+
+Two cooperating pieces:
+
+- :class:`AdmissionController` lives at the gateway. It combines the
+  :class:`~repro.admission.limiter.AdaptiveLimiter` (how many requests
+  may be inflight), deadline-aware early rejection (a request whose
+  remaining deadline cannot cover the estimated service time is doomed —
+  shed it before it wastes a worker slot), and the two priority classes:
+  batch requests see only ``batch_share`` of the concurrency limit, so
+  under overload batch sheds first and interactive degrades last.
+
+- :class:`NodeAdmission` guards one engine or storage node with a
+  :class:`~repro.admission.window.BoundedWindow` (hard inflight cap) and
+  a :class:`~repro.admission.window.CoDelShedder` over the *estimated*
+  queue delay (``inflight x service_time`` — the deterministic analogue
+  of measuring sojourn at dequeue). A node-level shed surfaces to the
+  caller as :class:`~repro.admission.errors.Overloaded`, propagates up
+  the RPC relay chain, and lands in the gateway limiter as a
+  multiplicative-decrease backpressure signal: storage -> engine ->
+  gateway.
+
+Elasticity integration (:meth:`AdmissionController.armed`): shedding is
+the *last* resort. While the cluster can still scale out — an autoscaler
+is attached, the fleet is below ``max_nodes``, and no reconfiguration is
+in flight — concurrency/window/CoDel shedding stays disarmed and the
+surge is absorbed by queues until new capacity arrives. Only at
+``max_nodes`` (or mid-reconfiguration, when adding capacity is
+momentarily impossible) does load shedding engage. Deadline-based
+rejection is always armed: executing a request that cannot meet its
+deadline is waste at any fleet size.
+
+Determinism: every decision is arithmetic over observed state — no RNG,
+no kernel events — and under-capacity traffic never trips a limit, so
+fault-free runs stay byte-identical with admission enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.admission.errors import BATCH, INTERACTIVE, Overloaded
+from repro.admission.limiter import AdaptiveLimiter
+
+#: Default node-side window sizes: generous enough that only saturating
+#: load trips them (engine appends and storage writes both complete in
+#: well under a millisecond of service time).
+ENGINE_WINDOW = 512
+STORAGE_WINDOW = 512
+
+
+class AdmissionController:
+    """Gateway-side admission control: limiter + deadlines + priorities."""
+
+    def __init__(
+        self,
+        env,
+        limiter: Optional[AdaptiveLimiter] = None,
+        batch_share: float = 0.7,
+        default_service: float = 0.010,
+    ):
+        if not 0.0 < batch_share <= 1.0:
+            raise ValueError("batch_share must be in (0, 1]")
+        self.env = env
+        self.limiter = limiter or AdaptiveLimiter()
+        self.batch_share = batch_share
+        self.default_service = default_service
+        #: Cluster backref (set by ``BokiCluster.enable_admission``) —
+        #: read lazily so enable-order between admission, elasticity and
+        #: monitoring does not matter.
+        self.cluster = None
+        self.nodes: List["NodeAdmission"] = []
+        self.admitted: Dict[str, int] = {INTERACTIVE: 0, BATCH: 0}
+        self.shed: Dict[str, int] = {}
+        self.shed_by_priority: Dict[str, int] = {INTERACTIVE: 0, BATCH: 0}
+        self.downstream_overloads = 0
+
+    # ------------------------------------------------------------------
+    # Elasticity gating
+    # ------------------------------------------------------------------
+    def armed(self) -> bool:
+        """Whether load shedding is engaged (see module docstring)."""
+        elastic = getattr(self.cluster, "elastic", None)
+        if elastic is None:
+            return True
+        if getattr(elastic, "reconfiguring", False):
+            return True
+        can_grow = getattr(elastic, "can_scale_out", None)
+        return not can_grow() if can_grow is not None else True
+
+    # ------------------------------------------------------------------
+    # The admission decision
+    # ------------------------------------------------------------------
+    def check(self, inflight: int, priority: str = INTERACTIVE,
+              deadline: Optional[float] = None) -> None:
+        """Admit or shed one gateway arrival; raises :class:`Overloaded`
+        on shed, returns normally (and accounts the admit) otherwise."""
+        now = self.env.now
+        est = self.limiter.service_estimate(self.default_service)
+        if deadline is not None and deadline - now < est:
+            self._shed(now, priority, "deadline", retry_after=0.0)
+        if self.armed():
+            limit = self.limiter.limit
+            effective = limit if priority == INTERACTIVE else int(limit * self.batch_share)
+            if inflight >= max(1, effective):
+                self._shed(now, priority, "concurrency-limit",
+                           retry_after=self._retry_after(inflight, est))
+        self.admitted[priority] = self.admitted.get(priority, 0) + 1
+        monitor = getattr(self.cluster, "monitor", None)
+        if monitor is not None:
+            monitor.on_admission(now, True, priority, "ok")
+
+    def _shed(self, now: float, priority: str, reason: str,
+              retry_after: float) -> None:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        self.shed_by_priority[priority] = self.shed_by_priority.get(priority, 0) + 1
+        monitor = getattr(self.cluster, "monitor", None)
+        if monitor is not None:
+            monitor.on_admission(now, False, priority, reason)
+        raise Overloaded("gateway", reason, retry_after=retry_after,
+                         priority=priority)
+
+    def _retry_after(self, inflight: int, est: float) -> float:
+        limit = max(1, self.limiter.limit)
+        over = max(0, inflight - limit)
+        return est * (1.0 + over / limit)
+
+    # ------------------------------------------------------------------
+    # Feedback signals
+    # ------------------------------------------------------------------
+    def on_success(self, latency: float) -> None:
+        """An admitted invocation completed OK end-to-end."""
+        self.limiter.on_success(latency)
+
+    def on_downstream_overload(self) -> None:
+        """An admitted invocation was shed deeper in the stack (engine or
+        storage window): multiplicative decrease at the gateway."""
+        self.downstream_overloads += 1
+        self.limiter.on_overload()
+
+    # ------------------------------------------------------------------
+    # Node registration + verdict snapshot
+    # ------------------------------------------------------------------
+    def register_node(self, node: "NodeAdmission") -> None:
+        self.nodes.append(node)
+
+    def total_shed(self) -> int:
+        return (sum(self.shed.values())
+                + sum(n.window.shed for n in self.nodes))
+
+    def snapshot(self) -> dict:
+        """Deterministic counters for verdict artifacts."""
+        return {
+            "limiter": self.limiter.snapshot(),
+            "admitted": dict(sorted(self.admitted.items())),
+            "shed": dict(sorted(self.shed.items())),
+            "shed_by_priority": dict(sorted(self.shed_by_priority.items())),
+            "downstream_overloads": self.downstream_overloads,
+            "nodes": [n.snapshot() for n in sorted(self.nodes,
+                                                   key=lambda n: n.resource)],
+        }
+
+
+class NodeAdmission:
+    """Bounded window + CoDel guard for one engine or storage node."""
+
+    def __init__(
+        self,
+        env,
+        resource: str,
+        capacity: int,
+        service_time: float,
+        codel_target: float = 0.010,
+        codel_interval: float = 0.100,
+        controller: Optional[AdmissionController] = None,
+    ):
+        from repro.admission.window import BoundedWindow, CoDelShedder
+
+        self.env = env
+        self.resource = resource
+        self.service_time = service_time
+        self.window = BoundedWindow(capacity)
+        self.codel = CoDelShedder(target=codel_target, interval=codel_interval)
+        self.controller = controller
+        if controller is not None:
+            controller.register_node(self)
+
+    def try_enter(self, priority: str = INTERACTIVE) -> None:
+        """Admit one arrival into the node's window or raise
+        :class:`Overloaded`. Callers must pair with :meth:`exit`."""
+        now = self.env.now
+        armed = self.controller is None or self.controller.armed()
+        if armed:
+            est_delay = self.window.inflight * self.service_time
+            if self.window.full:
+                self.window.shed += 1
+                self._notify(now, priority, "window-full")
+                raise Overloaded(self.resource, "window-full",
+                                 retry_after=est_delay, priority=priority)
+            if self.codel.should_drop(now, est_delay):
+                self.window.shed += 1
+                self._notify(now, priority, "queue-delay")
+                raise Overloaded(self.resource, "queue-delay",
+                                 retry_after=max(est_delay, self.codel.target),
+                                 priority=priority)
+        self.window.enter()
+
+    def exit(self) -> None:
+        self.window.exit()
+
+    def _notify(self, now: float, priority: str, reason: str) -> None:
+        if self.controller is not None:
+            monitor = getattr(self.controller.cluster, "monitor", None)
+            if monitor is not None:
+                monitor.on_admission(now, False, priority,
+                                     f"{self.resource}:{reason}")
+
+    def snapshot(self) -> dict:
+        return {
+            "resource": self.resource,
+            "capacity": self.window.capacity,
+            "inflight": self.window.inflight,
+            "peak": self.window.peak,
+            "admitted": self.window.admitted,
+            "shed": self.window.shed,
+            "codel_dropped": self.codel.dropped,
+        }

@@ -1,0 +1,86 @@
+"""Typed overload errors and the retry-after signal.
+
+Overload rejections are *definite* failures (the request was never
+executed), so they are cheap to retry — but retrying them immediately is
+exactly how retry storms turn a transient queue spike into a metastable
+goodput collapse. Every :class:`Overloaded` therefore carries a
+``retry_after`` hint (virtual seconds) computed by the shedding layer
+from its current queue state, and ``repro.resil`` treats that hint as a
+*floor* on its exponential backoff while charging **no** retry-budget
+tokens for shed requests (the work was never started, so there is no
+amplification to bound — see ``docs/overload.md``).
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the admission layer can be raised from any depth of the stack (storage,
+engine, gateway) without import cycles. The cause-chain walker
+:func:`retry_after_hint` understands both ``__cause__`` chains and the
+``.cause`` attribute of ``repro.sim.network.RpcError`` duck-typed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Priority classes, ordered from last-to-shed to first-to-shed.
+INTERACTIVE = "interactive"
+BATCH = "batch"
+PRIORITIES = (INTERACTIVE, BATCH)
+
+
+class Overloaded(Exception):
+    """A request shed by admission control before any work was done.
+
+    ``resource`` names the shedding layer (``"gateway"``,
+    ``"engine.<name>"``, ``"storage.<name>"``), ``reason`` the trigger
+    (``"concurrency-limit"``, ``"deadline"``, ``"window-full"``,
+    ``"queue-delay"``), and ``retry_after`` is the shedding layer's
+    estimate (virtual seconds) of when capacity may free up.
+    """
+
+    #: Duck-typed marker checked by :func:`is_overload` — lets transport
+    #: layers attach the flag to their own error types (fail-fast RPC
+    #: rejections) without importing this module.
+    is_overload = True
+
+    def __init__(self, resource: str, reason: str, retry_after: float = 0.0,
+                 priority: str = INTERACTIVE):
+        super().__init__(
+            f"{resource} shed {priority} request ({reason}, "
+            f"retry after {retry_after:.6g}s)"
+        )
+        self.resource = resource
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        self.priority = priority
+
+
+def _cause_chain(exc: BaseException):
+    """Yield ``exc`` and every cause reachable through ``.cause`` (the
+    RpcError relay convention) or ``__cause__`` (plain ``raise from``)."""
+    seen = set()
+    cause: Optional[BaseException] = exc
+    while cause is not None and id(cause) not in seen:
+        seen.add(id(cause))
+        yield cause
+        cause = getattr(cause, "cause", None) or cause.__cause__
+
+
+def is_overload(exc: BaseException) -> bool:
+    """Whether ``exc`` (or any cause under relay layers) is an overload
+    shed — i.e. the request was rejected without being executed."""
+    return any(getattr(c, "is_overload", False) for c in _cause_chain(exc))
+
+
+def retry_after_hint(exc: BaseException) -> Optional[float]:
+    """The innermost machine-readable ``retry_after`` in the cause chain.
+
+    Returns None when no layer attached a hint; the innermost hint wins
+    because the deepest shedding layer (storage under an engine under the
+    gateway) knows its own queue best.
+    """
+    hint = None
+    for cause in _cause_chain(exc):
+        value = getattr(cause, "retry_after", None)
+        if isinstance(value, (int, float)):
+            hint = float(value)
+    return hint

@@ -4,7 +4,7 @@ Commands
 --------
 ``list``
     Show the scenario catalog.
-``run <scenario>|all|fast|recovery|elastic [--seed N | --seeds N N ...] [--out DIR]``
+``run <scenario>|all|fast|recovery|elastic|admission [--seed N | --seeds N N ...] [--out DIR]``
     Execute scenarios, write verdict artifacts, print a summary; exits
     non-zero if any scenario's verdict is not ``passed`` or its online
     monitors disagree. ``--no-monitors`` disables the online monitors;
@@ -21,6 +21,7 @@ from typing import List
 from repro.chaos.runner import run_scenario, write_flight_records, write_verdict
 from repro.chaos.scenarios import (
     SCENARIOS,
+    admission_scenarios,
     all_scenarios,
     elastic_scenarios,
     fast_scenarios,
@@ -39,6 +40,8 @@ def _cmd_list(_args) -> int:
             flags.append("recovery")
         if scenario.elastic:
             flags.append("elastic")
+        if scenario.admission:
+            flags.append("admission")
         if scenario.expect_violations:
             flags.append("expects-violations")
         suffix = f"  [{', '.join(flags)}]" if flags else ""
@@ -55,11 +58,13 @@ def _resolve(selector: str) -> List[str]:
         return recovery_scenarios()
     if selector == "elastic":
         return elastic_scenarios()
+    if selector == "admission":
+        return admission_scenarios()
     if selector not in SCENARIOS:
         known = ", ".join(all_scenarios())
         raise SystemExit(
             f"unknown scenario {selector!r} "
-            f"(known: {known}, all, fast, recovery, elastic)"
+            f"(known: {known}, all, fast, recovery, elastic, admission)"
         )
     return [selector]
 
@@ -127,7 +132,8 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="show the scenario catalog")
     run = sub.add_parser("run", help="run scenarios and write verdicts")
     run.add_argument("scenario",
-                     help="scenario name, 'all', 'fast', 'recovery', or 'elastic'")
+                     help="scenario name, 'all', 'fast', 'recovery', "
+                          "'elastic', or 'admission'")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--seeds", type=int, nargs="+", default=None,
                      help="run each scenario once per seed")

@@ -67,6 +67,9 @@ def run_scenario(name: str, seed: int = 0, monitors: bool = True) -> Dict[str, A
         # schema 2: liveness metrics (availability + RTO) for recovery
         # scenarios; None for pure-safety scenarios.
         "recovery": result.recovery,
+        # Goodput/degradation metrics (repro.admission) for overload
+        # scenarios; None for everything else.
+        "overload": result.overload,
         # Online monitor verdict (repro.monitor): the in-sim incremental
         # monitors' view of the same guarantees, plus freshness and
         # record-reconciliation summaries and any fired alerts.
@@ -104,6 +107,10 @@ def validate_verdict(doc: Dict[str, Any]) -> None:
         problems.append("recovery missing (schema 2)")
     elif doc["recovery"] is not None and not isinstance(doc["recovery"], dict):
         problems.append("recovery must be null or an object")
+    if "overload" not in doc:
+        problems.append("overload missing (schema 2)")
+    elif doc["overload"] is not None and not isinstance(doc["overload"], dict):
+        problems.append("overload must be null or an object")
     online = doc.get("online")
     if not isinstance(online, dict):
         problems.append("online missing or not an object")

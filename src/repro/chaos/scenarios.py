@@ -27,7 +27,12 @@ from repro.chaos.checkers import (
 )
 from repro.chaos.faults import FaultInjector, FaultPlan
 from repro.chaos.history import History
-from repro.chaos.liveness import check_recovery_slo, recovery_metrics
+from repro.chaos.liveness import (
+    check_goodput_slo,
+    check_recovery_slo,
+    overload_report,
+    recovery_metrics,
+)
 from repro.core.cluster import BokiCluster
 from repro.libs.bokiqueue.queue import BokiQueue
 from repro.libs.bokistore.store import BokiStore
@@ -46,6 +51,10 @@ class ScenarioResult:
     #: plus freshness/reconciliation summaries and any fired alerts.
     #: None when monitoring was disabled for the run.
     online: Optional[dict] = None
+    #: Goodput/degradation metrics (repro.admission) for overload
+    #: scenarios (:func:`repro.chaos.liveness.overload_report`); None for
+    #: everything else. Serialized into schema-2 verdicts.
+    overload: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -63,6 +72,10 @@ class Scenario:
     #: runs the autoscaler's control loop against faults that overlap its
     #: scaling decisions.
     elastic: bool = False
+    #: Part of the overload suite (``python -m repro.chaos run admission``):
+    #: drives saturating load against the admission/backpressure layer (or
+    #: its no-admission baseline) and checks the goodput SLO.
+    admission: bool = False
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -70,10 +83,10 @@ SCENARIOS: Dict[str, Scenario] = {}
 
 def _scenario(name: str, description: str, expect_violations: bool = False,
               fast: bool = False, recovery: bool = False,
-              elastic: bool = False):
+              elastic: bool = False, admission: bool = False):
     def deco(fn):
         SCENARIOS[name] = Scenario(name, description, fn, expect_violations,
-                                   fast, recovery, elastic)
+                                   fast, recovery, elastic, admission)
         return fn
     return deco
 
@@ -1224,6 +1237,467 @@ def elastic_flash_crowd_primary_crash(seed: int) -> ScenarioResult:
                           recovery=metrics, online=_online(cluster))
 
 
+# ----------------------------------------------------------------------
+# Overload scenarios: admission control and graceful degradation under
+# saturating load (repro.admission)
+# ----------------------------------------------------------------------
+#: Per-op worker cost of ``bulk-op`` (10 ms of handler time plus dispatch
+#: overhead, slightly padded): the denominator of the analytic saturation
+#: goodput ``workers / _BULK_COST`` the goodput SLO is measured against.
+_BULK_COST = 0.0105
+
+
+def _overload_clients(cluster: BokiCluster, history: History, rate: float,
+                      duration: float, policy=None, timeout=None,
+                      priority: str = "interactive", start: float = 0.0,
+                      kind: str = "bulk.op"):
+    """Open-loop ``bulk-op`` arrivals at ``rate``/s for ``duration``.
+
+    Open loop is what makes overload *sustained*: every arrival is its
+    own client process, so slow (or shed) requests do not throttle the
+    arrival rate the way a closed loop would — offered load stays at
+    ``rate`` no matter what the cluster does with it. Each operation is
+    recorded in ``history`` (kind ``bulk.op``), the vantage point
+    :func:`~repro.chaos.liveness.overload_report` measures goodput from.
+
+    Returns ``(generator_proc, op_procs)`` — drive the generator to
+    completion first, then the (by that point fully populated) per-op
+    process list.
+    """
+    env = cluster.env
+    rng = cluster.streams.stream("chaos-overload")
+    ops: List = []
+
+    def one_op(i: int):
+        op = history.invoke("overload", kind, f"op-{i}")
+        try:
+            result = yield from cluster.invoke(
+                "bulk-op", i, timeout=timeout, policy=policy,
+                priority=priority,
+            )
+        except Exception as exc:
+            history.fail(op, type(exc).__name__)
+        else:
+            history.ok(op, result)
+
+    def generator():
+        if start:
+            yield env.timeout(start)
+        for i in range(int(rate * duration)):
+            ops.append(env.process(one_op(i), name=f"overload-op-{i}"))
+            # ±10% jitter desynchronizes arrivals without changing the
+            # offered rate (deterministic: named stream).
+            yield env.timeout((0.9 + 0.2 * rng.random()) / rate)
+
+    return env.process(generator(), name="overload-gen"), ops
+
+
+def _worker_peak(cluster: BokiCluster, peaks: Dict[str, float],
+                 interval: float = 0.005):
+    """Sample the deepest function-node worker queue into
+    ``peaks["worker.depth"]`` — the queue whose unbounded growth is the
+    metastable-failure signature (zombie executions pile up behind
+    client deadlines). Plain polling, not driven to completion: it
+    simply stops being stepped once the client processes finish."""
+    env = cluster.env
+
+    def sampler():
+        while True:
+            depth = max(f.queue_depth for f in cluster.function_nodes)
+            if depth > peaks["worker.depth"]:
+                peaks["worker.depth"] = depth
+            yield env.timeout(interval)
+
+    peaks.setdefault("worker.depth", 0)
+    return env.process(sampler(), name="chaos-queue-sampler")
+
+
+def _retry_storm(seed: int, admission: bool) -> ScenarioResult:
+    from repro.admission import AdaptiveLimiter
+    from repro.resil import RetryPolicy
+
+    name = ("retry-storm-metastable" if admission
+            else "retry-storm-metastable-noadmission")
+    cluster = BokiCluster(
+        num_function_nodes=1, num_storage_nodes=3, num_sequencer_nodes=3,
+        workers_per_node=4, seed=seed,
+    )
+    cluster.enable_resilience()
+    ctrl = None
+    if admission:
+        # Sized for the tiny fleet: 4 workers x 10 ms saturate at ~16
+        # concurrent before latency passes the 50 ms target, so the
+        # limiter starts at its equilibrium instead of discovering it
+        # from the default 64 mid-storm.
+        ctrl = cluster.enable_admission(
+            limiter=AdaptiveLimiter(initial=16.0, target_latency=0.050),
+        )
+    hub = _monitor(cluster, name, seed)
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    _register_bulk_fn(cluster)
+
+    # Offered load ~1.8x saturation; short per-attempt deadlines plus
+    # eager retries are the storm: every timed-out attempt leaves a
+    # zombie execution burning a worker slot AND re-arrives as a retry.
+    workers = len(cluster.function_nodes) * 4
+    saturation = workers / _BULK_COST
+    rate, duration = 700.0, 2.0
+    # The injected condition IS the load: a timeline marker documents it
+    # (and lands in the flight recorder) like any other fault.
+    plan = FaultPlan().call(0.0, f"open-loop-overload-{int(rate)}rps",
+                            lambda: None)
+    injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
+    injector.start()
+    policy = RetryPolicy(max_attempts=4, base_delay=5e-3, max_delay=0.05,
+                         attempt_timeout=0.12, retry_timeouts=True)
+    peaks: Dict[str, float] = {}
+    _worker_peak(cluster, peaks)
+    gen, ops = _overload_clients(cluster, history, rate, duration,
+                                 policy=policy)
+    _drive_all(cluster, [gen], limit=300.0)
+    _drive_all(cluster, ops, limit=300.0)
+
+    window_start, window_end = 0.5, duration
+    report = overload_report(
+        history, window_start, window_end, kinds=("bulk.op",),
+        saturation_goodput=saturation,
+        queue_peaks={
+            "gateway.inflight": cluster.gateway.inflight_peak,
+            "worker.depth": peaks["worker.depth"],
+        },
+        shed=ctrl.total_shed() if ctrl is not None else 0,
+        admission=ctrl.snapshot() if ctrl is not None else None,
+        enabled=admission,
+    )
+    # The degradation contract: >= 70% of saturation goodput, accepted
+    # requests finishing well inside the 120 ms client deadline, queues
+    # bounded near the concurrency limit. The no-admission baseline MUST
+    # fail this checker — that failure is its expected violation.
+    goodput = check_goodput_slo(report, min_goodput_fraction=0.7,
+                                max_accepted_p99=0.25, max_queue_peak=128)
+    snapshot = cluster.resil.snapshot()
+    last_invoke = max((op.t_invoke for op in history.ops), default=0.0)
+    sanity = [
+        (last_invoke > window_start + 1.0,
+         "the open-loop load did not span the overload window"),
+        (report["offered"] > 0.9 * rate * (window_end - window_start),
+         "offered load fell below the open-loop rate"),
+        (snapshot["retries"] > 0, "the storm caused no client retries"),
+    ]
+    if admission:
+        sanity.append((ctrl.total_shed() > 0,
+                       "admission control never shed under saturating load"))
+    checks = [
+        check_metalog(cluster),
+        goodput,
+        _sanity(sanity),
+    ]
+    stats = _base_stats(cluster, history)
+    for key, value in sorted(snapshot.items()):
+        stats[f"resil_{key}"] = value
+    stats["gateway_inflight_peak"] = cluster.gateway.inflight_peak
+    stats["worker_depth_peak"] = peaks["worker.depth"]
+    stats["shed_total"] = ctrl.total_shed() if ctrl is not None else 0
+    return ScenarioResult(checks, injector.timeline, stats, overload=report,
+                          online=_online(cluster))
+
+
+@_scenario(
+    "retry-storm-metastable",
+    "Open-loop load at ~1.8x saturation with short client deadlines and "
+    "eager retries; the adaptive limiter sheds the excess, so goodput "
+    "holds >= 70% of saturation with bounded accepted latency and "
+    "bounded queues while the shed clients back off on retry-after "
+    "hints.",
+    fast=True,
+    admission=True,
+)
+def retry_storm_metastable(seed: int) -> ScenarioResult:
+    return _retry_storm(seed, admission=True)
+
+
+@_scenario(
+    "retry-storm-metastable-noadmission",
+    "The same retry storm with no admission control: timed-out attempts "
+    "leave zombie executions burning worker slots while their retries "
+    "re-arrive, queues grow without bound, and goodput collapses — the "
+    "metastable failure the goodput SLO checker must flag.",
+    expect_violations=True,
+    fast=True,
+    admission=True,
+)
+def retry_storm_metastable_noadmission(seed: int) -> ScenarioResult:
+    return _retry_storm(seed, admission=False)
+
+
+@_scenario(
+    "sustained-overload-beyond-max-nodes",
+    "A sustained surge beyond what even the autoscaler's max_nodes fleet "
+    "can serve: scale-out absorbs what it can (shedding stays disarmed "
+    "below the ceiling), then admission control sheds batch traffic "
+    "first so interactive clients keep their availability SLO while "
+    "goodput holds near the max-fleet saturation point.",
+    admission=True,
+)
+def sustained_overload_beyond_max_nodes(seed: int) -> ScenarioResult:
+    from repro.admission import BATCH, INTERACTIVE
+    from repro.elastic import HysteresisPolicy, PolicyConfig
+    from repro.resil import RetryPolicy
+
+    cluster = BokiCluster(
+        num_function_nodes=2, num_spare_function_nodes=2,
+        num_storage_nodes=3, num_sequencer_nodes=3,
+        workers_per_node=4, seed=seed,
+    )
+    cluster.enable_resilience()
+    auto = cluster.enable_elasticity(
+        interval=0.05,
+        engine_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=2, max_nodes=4, breach_up=2, breach_down=4,
+            cooldown_down=2.0,
+        )),
+        # Storage stays put: the surge is pure compute, and a bulk-idle
+        # storage fleet must not shrink below its replication needs.
+        storage_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=3, max_nodes=3, breach_down=1000, cooldown_down=10.0,
+        )),
+    )
+    ctrl = cluster.enable_admission()
+    hub = _monitor(cluster, "sustained-overload-beyond-max-nodes", seed)
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    _register_store_fn(cluster)
+    _register_bulk_fn(cluster)
+
+    # store-op is pinned to func-0 (linearizability is per-index, §4.4);
+    # bulk-op round-robins over the autoscaler's ACTIVE fleet.
+    gateway = cluster.gateway
+    target = cluster.function_nodes[0]
+    rr = itertools.count()
+
+    def scheduler(fn_name, book_id):
+        if fn_name == "store-op":
+            return target
+        alive = [f for f in gateway.function_nodes if f.node.alive]
+        if gateway.active_nodes is not None:
+            active = [f for f in alive if f.name in gateway.active_nodes]
+            alive = active or alive
+        return alive[next(rr) % len(alive)]
+
+    gateway.scheduler = scheduler
+
+    # Max fleet (4 engines x 4 workers x 10 ms) saturates at ~1520/s;
+    # the surge offers ~1800/s of BATCH work — beyond any fleet the
+    # policy can build — while INTERACTIVE store clients ride along.
+    workers = 4 * 4
+    saturation = workers / _BULK_COST
+    surge_at, rate, duration = 0.3, 1800.0, 1.6
+    plan = FaultPlan().call(surge_at, f"sustained-surge-{int(rate)}rps",
+                            lambda: None)
+    injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
+    injector.start()
+    policy = RetryPolicy(max_attempts=3, base_delay=5e-3, max_delay=0.05,
+                         attempt_timeout=0.5, retry_timeouts=True)
+    gen, ops = _overload_clients(cluster, history, rate, duration,
+                                 policy=policy, priority=BATCH,
+                                 start=surge_at)
+    store_procs = _gateway_store_clients(cluster, history, num_clients=3,
+                                         ops_per_client=70)
+    _drive_all(cluster, [gen] + store_procs, limit=300.0)
+    _drive_all(cluster, ops, limit=300.0)
+
+    # Measure once the fleet is at its ceiling and the scale-out backlog
+    # has drained: offered stays ~1.2x the max-fleet saturation.
+    window_start, window_end = 0.8, surge_at + duration
+    report = overload_report(
+        history, window_start, window_end, kinds=("bulk.op",),
+        saturation_goodput=saturation,
+        queue_peaks={"gateway.inflight": gateway.inflight_peak},
+        shed=ctrl.total_shed(),
+        admission=ctrl.snapshot(),
+        enabled=True,
+    )
+    metrics = recovery_metrics(history, surge_at,
+                               kinds=("store.put", "store.get"),
+                               enabled=True)
+    scale_outs = auto.scale_events("scale-out")
+    peak_fleet = max((len(e["engines"]) for e in scale_outs), default=0)
+    shed_batch = ctrl.shed_by_priority.get(BATCH, 0)
+    shed_interactive = ctrl.shed_by_priority.get(INTERACTIVE, 0)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        check_goodput_slo(report, min_goodput_fraction=0.7,
+                          max_accepted_p99=0.5),
+        # Graceful degradation for the interactive class: store clients
+        # keep >= 90% availability through the whole surge window.
+        check_recovery_slo(metrics, min_availability=0.9),
+        _sanity([
+            (bool(scale_outs), "the surge triggered no scale-out"),
+            (peak_fleet == 4,
+             f"the engine fleet peaked at {peak_fleet}, not max_nodes"),
+            (ctrl.total_shed() > 0,
+             "admission control never shed beyond max_nodes"),
+            (shed_batch > shed_interactive,
+             f"batch did not shed first (batch={shed_batch}, "
+             f"interactive={shed_interactive})"),
+            (auto.reconfig_failures == 0,
+             f"{auto.reconfig_failures} scaling reconfigurations failed"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["scale_outs"] = len(scale_outs)
+    stats["peak_engines"] = peak_fleet
+    stats["gateway_inflight_peak"] = gateway.inflight_peak
+    stats["shed_total"] = ctrl.total_shed()
+    stats["shed_batch"] = shed_batch
+    stats["shed_interactive"] = shed_interactive
+    stats["node_seconds"] = round(auto.node_seconds(), 6)
+    return ScenarioResult(checks, _merged_timeline(injector, auto), stats,
+                          recovery=metrics, overload=report,
+                          online=_online(cluster))
+
+
+@_scenario(
+    "split-brain-controller-during-scale-out",
+    "The controller is partitioned away exactly when a surge needs a "
+    "scale-out: every seal loses its quorum, reconfigurations fail, and "
+    "admission control arms mid-reconfiguration — shedding holds goodput "
+    "near the stuck fleet's saturation until the heal lets the scale-out "
+    "land and the cluster recovers fully.",
+    admission=True,
+)
+def split_brain_controller_during_scale_out(seed: int) -> ScenarioResult:
+    from repro.elastic import HysteresisPolicy, PolicyConfig
+    from repro.resil import RetryPolicy
+
+    cluster = BokiCluster(
+        num_function_nodes=2, num_spare_function_nodes=2,
+        num_storage_nodes=3, num_sequencer_nodes=3,
+        workers_per_node=4, seed=seed,
+    )
+    cluster.enable_resilience()
+    auto = cluster.enable_elasticity(
+        interval=0.05,
+        engine_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=2, max_nodes=4, breach_up=2, breach_down=4,
+            cooldown_down=2.0,
+        )),
+        storage_policy=HysteresisPolicy(PolicyConfig(
+            min_nodes=3, max_nodes=3, breach_down=1000, cooldown_down=10.0,
+        )),
+    )
+    ctrl = cluster.enable_admission()
+    hub = _monitor(cluster, "split-brain-controller-during-scale-out", seed)
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    _register_store_fn(cluster)
+    _register_bulk_fn(cluster)
+
+    gateway = cluster.gateway
+    target = cluster.function_nodes[0]
+    rr = itertools.count()
+
+    def scheduler(fn_name, book_id):
+        if fn_name == "store-op":
+            return target
+        alive = [f for f in gateway.function_nodes if f.node.alive]
+        if gateway.active_nodes is not None:
+            active = [f for f in alive if f.name in gateway.active_nodes]
+            alive = active or alive
+        return alive[next(rr) % len(alive)]
+
+    gateway.scheduler = scheduler
+
+    # Partition the controller from everyone else just before the surge:
+    # the autoscaler (running ON the controller node, sampling shared
+    # state) keeps deciding to scale out, but every seal RPC is dropped —
+    # each attempt fails its quorum and the fleet is stuck at 2 nodes.
+    part_at, heal_at = 0.25, 1.5
+    others = sorted(set(cluster.net.nodes) - {"controller"})
+    plan = (
+        FaultPlan()
+        .partition_groups(part_at, [["controller"], others])
+        .heal_all(heal_at)
+    )
+    injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
+    injector.start()
+
+    # ~1.3x the stuck fleet's saturation (2 engines x 4 workers), but
+    # under the 4-node fleet's — after the heal the scale-out fully
+    # absorbs the load and shedding stops.
+    stuck_workers = 2 * 4
+    stuck_saturation = stuck_workers / _BULK_COST
+    surge_at, rate, duration = 0.3, 1000.0, 2.2
+    policy = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.1,
+                         attempt_timeout=0.5, retry_timeouts=True)
+    gen, ops = _overload_clients(cluster, history, rate, duration,
+                                 policy=policy, start=surge_at)
+    store_procs = _gateway_store_clients(cluster, history, num_clients=3,
+                                         ops_per_client=80)
+    _drive_all(cluster, [gen] + store_procs, limit=300.0)
+    _drive_all(cluster, ops, limit=300.0)
+
+    report = overload_report(
+        history, surge_at + 0.15, heal_at, kinds=("bulk.op",),
+        saturation_goodput=stuck_saturation,
+        queue_peaks={"gateway.inflight": gateway.inflight_peak},
+        shed=ctrl.total_shed(),
+        admission=ctrl.snapshot(),
+        enabled=True,
+    )
+    metrics = recovery_metrics(history, part_at,
+                               kinds=("store.put", "store.get"),
+                               enabled=True)
+    scale_outs = auto.scale_events("scale-out")
+    healed_outs = [e for e in scale_outs if e["t"] >= heal_at]
+    peak_fleet = max((len(e["engines"]) for e in scale_outs), default=2)
+    ops_after = _ok_ops_after(history, heal_at)
+    checks = [
+        check_store_linearizability(history),
+        check_metalog(cluster),
+        # Client-perceived latency of an eventually-accepted op includes
+        # its shed-retry envelope (up to 3 attempts x 0.5 s plus
+        # hint-floored backoff), so the bound asserts "every accepted op
+        # finished within the retry budget" — the metastable alternative
+        # is ops that never complete at all.
+        check_goodput_slo(report, min_goodput_fraction=0.5,
+                          max_accepted_p99=2.0),
+        check_recovery_slo(metrics, min_availability=0.9),
+        _sanity([
+            (len(injector.timeline) == 2, "partition/heal did not both fire"),
+            (auto.reconfig_failures > 0,
+             "the split-brain never failed a reconfiguration"),
+            (bool(healed_outs),
+             "no scale-out landed after the heal"),
+            (peak_fleet == 4,
+             f"the post-heal fleet peaked at {peak_fleet} engines, not 4"),
+            (ctrl.total_shed() > 0,
+             "admission control never shed while the fleet was stuck"),
+            (ops_after > 0, "no operation completed after the heal"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["reconfig_failures"] = auto.reconfig_failures
+    stats["scale_outs"] = len(scale_outs)
+    stats["peak_engines"] = peak_fleet
+    stats["engines_active"] = len(auto.active_engines)
+    stats["gateway_inflight_peak"] = gateway.inflight_peak
+    stats["shed_total"] = ctrl.total_shed()
+    stats["ops_ok_after_heal"] = ops_after
+    stats["final_term"] = cluster.controller.current_term.term_id
+    return ScenarioResult(checks, _merged_timeline(injector, auto), stats,
+                          recovery=metrics, overload=report,
+                          online=_online(cluster))
+
+
 def fast_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.fast)
 
@@ -1234,6 +1708,10 @@ def recovery_scenarios() -> List[str]:
 
 def elastic_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.elastic)
+
+
+def admission_scenarios() -> List[str]:
+    return sorted(name for name, s in SCENARIOS.items() if s.admission)
 
 
 def all_scenarios() -> List[str]:

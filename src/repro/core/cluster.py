@@ -112,6 +112,7 @@ class BokiCluster:
         self.resil = None
         self.elastic = None
         self.monitor = None
+        self.admission = None
 
     # ------------------------------------------------------------------
     # Observability (repro.obs)
@@ -211,6 +212,67 @@ class BokiCluster:
         return resil
 
     # ------------------------------------------------------------------
+    # Admission control (repro.admission)
+    # ------------------------------------------------------------------
+    def enable_admission(
+        self,
+        limiter=None,
+        batch_share: float = 0.7,
+        engine_window: Optional[int] = None,
+        storage_window: Optional[int] = None,
+        codel_target: float = 0.010,
+        codel_interval: float = 0.100,
+    ):
+        """Switch on end-to-end overload control: the gateway's adaptive
+        concurrency limiter + deadline-aware early rejection, and bounded
+        inflight windows with CoDel-style shedding at every engine and
+        storage node. Returns the
+        :class:`~repro.admission.AdmissionController`.
+
+        Integrates with the other layers automatically: with
+        ``enable_elasticity`` attached, shedding stays disarmed while the
+        fleet can still scale out; with ``enable_monitoring``, admission
+        decisions feed the shed-rate window and burn-rate alerting; with
+        ``enable_resilience``, shed requests are retried after the
+        shedder's retry-after hint without charging the retry budget.
+
+        Determinism: every admission decision is plain arithmetic over
+        observed state — no RNG, no extra kernel events — so fault-free,
+        under-capacity runs stay byte-identical with the layer on or off.
+        """
+        from repro.admission import (
+            ENGINE_WINDOW,
+            STORAGE_WINDOW,
+            AdmissionController,
+            NodeAdmission,
+        )
+
+        if self.admission is not None:
+            return self.admission
+        controller = self.admission = AdmissionController(
+            self.env, limiter=limiter, batch_share=batch_share
+        )
+        controller.cluster = self
+        self.gateway.admission = controller
+        for name, engine in self.engines.items():
+            engine.admission = NodeAdmission(
+                self.env, f"engine.{name}",
+                capacity=engine_window or ENGINE_WINDOW,
+                service_time=self.config.engine_service,
+                codel_target=codel_target, codel_interval=codel_interval,
+                controller=controller,
+            )
+        for snode in self.storage_nodes:
+            snode.admission = NodeAdmission(
+                self.env, f"storage.{snode.name}",
+                capacity=storage_window or STORAGE_WINDOW,
+                service_time=self.config.storage_service,
+                codel_target=codel_target, codel_interval=codel_interval,
+                controller=controller,
+            )
+        return controller
+
+    # ------------------------------------------------------------------
     # Elasticity (repro.elastic)
     # ------------------------------------------------------------------
     def enable_elasticity(self, start: bool = True, **kwargs):
@@ -287,12 +349,18 @@ class BokiCluster:
         self.gateway.register_function(fn_name, handler)
 
     def invoke(self, fn_name: str, arg: Any = None, book_id: Optional[int] = None,
-               timeout: Optional[float] = None, policy=None) -> Generator:
-        """External invocation from the cluster's client node."""
+               timeout: Optional[float] = None, policy=None,
+               priority: str = "interactive") -> Generator:
+        """External invocation from the cluster's client node.
+
+        ``priority`` is the admission class (``"interactive"`` or
+        ``"batch"``, see :mod:`repro.admission`) — ignored unless
+        ``enable_admission`` is on, where batch traffic sheds first.
+        """
         return (
             yield from self.gateway.external_invoke(
                 self.client_node, fn_name, arg, book_id=book_id,
-                timeout=timeout, policy=policy,
+                timeout=timeout, policy=policy, priority=priority,
             )
         )
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from repro.admission.errors import is_overload, retry_after_hint
 from repro.core.cache import RecordCache
 from repro.core.config import BokiConfig, TermConfig
 from repro.obs.recorder import DISABLED
@@ -131,6 +132,14 @@ class LogBookEngine:
         self.resil = None
         #: Online monitor hub (repro.monitor), set by enable_monitoring.
         self.monitor = None
+        #: Node admission guard (repro.admission), set by
+        #: enable_admission; None admits every append.
+        self.admission = None
+        #: Appends currently in flight on this engine — maintained always
+        #: (plain arithmetic) so the queue-depth gauge exists with or
+        #: without admission control.
+        self.appends_inflight = 0
+        self.appends_inflight_peak = 0
         node.handle("metalog.entry", self._h_metalog_entry)
         node.handle("index.meta", self._h_index_meta)
         node.handle("engine.read", self._h_engine_read)
@@ -241,7 +250,28 @@ class LogBookEngine:
             return seqnum, position
 
     def _append(self, book_id: int, tags: Tuple[int, ...], data: Any) -> Generator:
+        """Admission-guarded append: the engine's bounded window + CoDel
+        shed new appends under saturation (raising
+        :class:`~repro.admission.Overloaded` to the caller) before they
+        join the queue; admitted appends run :meth:`_append_admitted`."""
         self.appends_started += 1
+        if self.admission is not None:
+            self.admission.try_enter()
+        self.appends_inflight += 1
+        if self.appends_inflight > self.appends_inflight_peak:
+            self.appends_inflight_peak = self.appends_inflight
+        if self.obs.enabled:
+            self.obs.metrics.gauge(f"queue.engine.{self.name}.depth").record(
+                self.env.now, self.appends_inflight
+            )
+        try:
+            return (yield from self._append_admitted(book_id, tags, data))
+        finally:
+            self.appends_inflight -= 1
+            if self.admission is not None:
+                self.admission.exit()
+
+    def _append_admitted(self, book_id: int, tags: Tuple[int, ...], data: Any) -> Generator:
         while True:
             term_config = self.term_config
             assert term_config is not None, "engine not configured"
@@ -323,11 +353,18 @@ class LogBookEngine:
                 for name in backers
             ]
             failed = False
+            shed_hint = None
             for call in calls:
                 try:
                     yield call
-                except (RpcError, RpcTimeout):
+                except (RpcError, RpcTimeout) as exc:
                     failed = True
+                    # Storage shed the write (bounded window / CoDel):
+                    # honor its retry-after hint instead of hammering —
+                    # this is the storage -> engine backpressure rung.
+                    if is_overload(exc):
+                        hint = retry_after_hint(exc)
+                        shed_hint = max(shed_hint or 0.0, hint or 0.0)
             if not failed:
                 return True
             attempts += 1
@@ -336,7 +373,10 @@ class LogBookEngine:
             # A storage node is unresponsive; reconfiguration will replace
             # it. Back off and retry (the paper's appends see elevated
             # latency during reconfiguration, Figure 10).
-            yield self.env.timeout(min(0.001 * attempts, 0.01))
+            delay = min(0.001 * attempts, 0.01)
+            if shed_hint is not None:
+                delay = max(delay, shed_hint)
+            yield self.env.timeout(delay)
             if self.term_config is not term_config:
                 return False
 

@@ -77,6 +77,14 @@ class StorageNode:
         self.obs = DISABLED
         #: Online monitor hub (repro.monitor), set by enable_monitoring.
         self.monitor = None
+        #: Node admission guard (repro.admission), set by
+        #: enable_admission; None accepts every write.
+        self.admission = None
+        #: Replicate writes currently queued or in service — maintained
+        #: always (plain arithmetic) so the pending-write gauge exists
+        #: with or without admission control.
+        self.pending_writes = 0
+        self.pending_writes_peak = 0
         self._register_handlers()
 
     @property
@@ -153,10 +161,31 @@ class StorageNode:
     # Write path
     # ------------------------------------------------------------------
     def _h_replicate(self, payload: dict) -> Generator:
-        """Store one record; ack once durable."""
-        yield self.node.cpu.use(self.config.storage_service)
-        store = self._shard(payload["term"], payload["log_id"], payload["shard"])
-        store.put(payload["local_id"], payload)
+        """Store one record; ack once durable.
+
+        With admission control enabled the write first passes this node's
+        bounded window + CoDel guard; a shed raises
+        :class:`~repro.admission.Overloaded` back to the appending
+        engine, which honors the retry-after hint — the bottom rung of
+        the storage -> engine -> gateway backpressure ladder.
+        """
+        if self.admission is not None:
+            self.admission.try_enter()
+        self.pending_writes += 1
+        if self.pending_writes > self.pending_writes_peak:
+            self.pending_writes_peak = self.pending_writes
+        if self.obs.enabled:
+            self.obs.metrics.gauge(f"queue.storage.{self.name}.pending").record(
+                self.env.now, self.pending_writes
+            )
+        try:
+            yield self.node.cpu.use(self.config.storage_service)
+            store = self._shard(payload["term"], payload["log_id"], payload["shard"])
+            store.put(payload["local_id"], payload)
+        finally:
+            self.pending_writes -= 1
+            if self.admission is not None:
+                self.admission.exit()
         return True
 
     def _h_put_aux(self, payload: dict) -> None:

@@ -86,6 +86,10 @@ class Autoscaler:
         #: fleet change, JSON-serializable.
         self.events: List[Dict] = []
         self.reconfig_failures = 0
+        #: True while a scaling reconfiguration is in flight — admission
+        #: control arms shedding during this window (capacity cannot be
+        #: added mid-reconfiguration; see ``repro.admission``).
+        self.reconfiguring = False
         self._fenced: set = set()
         self._proc = None
         self._node_seconds = 0.0
@@ -120,6 +124,21 @@ class Autoscaler:
         cost side of the elasticity benchmark."""
         now = self.env.now if now is None else now
         return self._node_seconds + (now - self._acct_t) * self._acct_nodes
+
+    def can_scale_out(self) -> bool:
+        """Whether the engine fleet still has scale-out headroom: below
+        the policy ceiling with an alive, non-active pool node to add.
+        Admission control keeps load shedding disarmed while this holds —
+        growing the fleet is the first response to a surge."""
+        ceiling = self.engine_policy.config.max_nodes
+        if ceiling is not None and len(self.active_engines) >= ceiling:
+            return False
+        active = set(self.active_engines)
+        return any(
+            name not in active
+            and self.controller.components[name].node.alive
+            for name in self.engine_pool
+        )
 
     # ------------------------------------------------------------------
     # Control loop
@@ -200,6 +219,7 @@ class Autoscaler:
             self._unfence(name)
         # Un-route engine victims before sealing (step 1 of the protocol).
         self._set_routing(new_engines)
+        self.reconfiguring = True
         try:
             new_term = yield from self.controller.reconfigure_serialized(
                 engine_names=new_engines,
@@ -207,6 +227,7 @@ class Autoscaler:
                 minimal_movement=True,
             )
         except ReconfigurationFailed:
+            self.reconfiguring = False
             self.reconfig_failures += 1
             self._set_routing(self.active_engines)
             for name in refence:
@@ -221,6 +242,7 @@ class Autoscaler:
             })
             return
 
+        self.reconfiguring = False
         self._accrue(self.env.now)
         self.active_engines = new_engines
         self.active_storage = new_storage

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from repro.admission.errors import INTERACTIVE, is_overload, retry_after_hint
 from repro.obs.recorder import DISABLED
 from repro.resil.policy import RetryPolicy, unwrap_failure
 from repro.sim.kernel import Environment
@@ -31,6 +32,11 @@ from repro.faas.worker import FunctionNode
 
 #: Workflow invocations can be long chains; give them generous timeouts.
 INVOKE_TIMEOUT = 120.0
+
+#: Retry-after hint attached to :class:`NoLiveNodesError`: nodes come
+#: back on failure-detection / restart timescales, so hammering sooner
+#: than this is wasted load (matches the breaker reset default).
+NO_NODES_RETRY_AFTER = 0.25
 
 
 def _unwrap(exc: RpcError) -> BaseException:
@@ -56,7 +62,13 @@ class NoLiveNodesError(RuntimeError):
     Subclasses ``RuntimeError`` for compatibility with callers that
     caught the previous untyped error. Retryable in principle — nodes
     may restart — so resilience policies do not treat it as permanent.
+    Carries a machine-readable ``retry_after`` hint (seconds) so resil
+    backoff and admission control agree on one pacing signal.
     """
+
+    def __init__(self, message: str, retry_after: float = NO_NODES_RETRY_AFTER):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class Gateway:
@@ -83,6 +95,14 @@ class Gateway:
         #: Online monitor hub (repro.monitor), set by enable_monitoring;
         #: feeds the availability/latency windows behind SLO burn rates.
         self.monitor = None
+        #: Admission controller (repro.admission), set by
+        #: enable_admission; None admits everything.
+        self.admission = None
+        #: Gateway-inflight external invocations — maintained always
+        #: (plain arithmetic) so the queue gauge exists with or without
+        #: admission control.
+        self.inflight = 0
+        self.inflight_peak = 0
         self.node.handle("faas.invoke", self._h_invoke)
 
     # ------------------------------------------------------------------
@@ -150,9 +170,54 @@ class Gateway:
     # Invocation paths
     # ------------------------------------------------------------------
     def _h_invoke(self, payload: dict) -> Generator:
-        """Gateway-side handler for external invocations."""
+        """Gateway-side handler for external invocations.
+
+        With admission control enabled, every arrival passes the
+        controller's check (concurrency limit, deadline-aware early
+        rejection, priority classes) *before* a node is picked; shed
+        requests bounce straight back to the client as
+        :class:`~repro.admission.Overloaded` without consuming a worker
+        slot. Completion latency feeds the adaptive limiter; downstream
+        overloads (an engine or storage window shed an admitted request)
+        feed back as multiplicative decrease.
+        """
         if payload["fn"] not in self._functions:
             raise FunctionNotFoundError(payload["fn"])
+        if self.admission is not None:
+            self.admission.check(
+                self.inflight,
+                priority=payload.get("priority", INTERACTIVE),
+                deadline=payload.get("deadline"),
+            )
+        t_accept = self.env.now
+        self.inflight += 1
+        if self.inflight > self.inflight_peak:
+            self.inflight_peak = self.inflight
+        self._record_queue_gauge()
+        try:
+            reply = yield from self._dispatch(payload)
+        except BaseException as exc:
+            if self.admission is not None and is_overload(exc):
+                self.admission.on_downstream_overload()
+            raise
+        else:
+            if self.admission is not None:
+                self.admission.on_success(self.env.now - t_accept)
+            return reply
+        finally:
+            self.inflight -= 1
+            self._record_queue_gauge()
+
+    def _record_queue_gauge(self) -> None:
+        """Sample the inflight gauge into the obs registry (trace counter
+        events are derived from these samples; observation only)."""
+        if self.obs.enabled:
+            self.obs.metrics.gauge("queue.gateway.inflight").record(
+                self.env.now, self.inflight
+            )
+
+    def _dispatch(self, payload: dict) -> Generator:
+        """Route one admitted invocation to a function node."""
         if self.resil is not None:
             return (yield from self._invoke_with_failover(payload))
         fnode = self.pick_node(payload["fn"], payload.get("book_id"))
@@ -213,12 +278,21 @@ class Gateway:
                     timeout=attempt_timeout,
                 )
             except (RpcError, RpcTimeout) as exc:
-                breaker.record_failure()
+                # Overload sheds are not node failures: the breaker stays
+                # untouched (the node is healthy, just saturated) and the
+                # retry budget is not charged (no work was started, so
+                # there is no amplification to bound).
+                shed = is_overload(exc)
+                if not shed:
+                    breaker.record_failure()
                 if not policy.should_retry(exc, attempt):
                     raise
-                if not resil.budget.try_spend():
+                if not shed and not resil.budget.try_spend():
                     raise
                 backoff = policy.backoff(attempt, resil.jitter_rng())
+                hint = retry_after_hint(exc)
+                if hint is not None:
+                    backoff = max(backoff, hint)
                 if deadline is not None and self.env.now + backoff >= deadline:
                     raise  # the client has (or will have) given up: no zombies
                 resil.counters["retries"] += 1
@@ -280,19 +354,24 @@ class Gateway:
         book_id: Optional[int] = None,
         timeout: Optional[float] = None,
         policy: Optional[RetryPolicy] = None,
+        priority: str = INTERACTIVE,
     ) -> Generator:
         """Client entry point: client -> gateway -> function node.
 
         Returns only the result (clients do not see baggage). Application
         errors surface with their original types — including
-        :class:`FunctionNotFoundError`, :class:`NoLiveNodesError`, and
-        inner-hop :class:`RpcTimeout` (see :func:`_unwrap`).
+        :class:`FunctionNotFoundError`, :class:`NoLiveNodesError`,
+        :class:`~repro.admission.Overloaded`, and inner-hop
+        :class:`RpcTimeout` (see :func:`_unwrap`).
 
         ``timeout`` bounds each attempt (default the per-policy attempt
         timeout, else :data:`INVOKE_TIMEOUT`); ``policy`` (or the
         gateway's resilience-enabled default) retries the call from the
         client side — the same invocation id is reused, so retried
         invocations that log their effects stay exactly-once.
+        ``priority`` tags the request's admission class
+        (``"interactive"`` default, ``"batch"`` sheds first under
+        overload).
         """
         if policy is None and self.resil is not None:
             policy = self.invoke_policy
@@ -300,6 +379,7 @@ class Gateway:
         payload = {
             "fn": fn_name, "arg": arg, "book_id": book_id, "baggage": {},
             "invocation_id": self._new_invocation_id(),
+            "priority": priority,
         }
         attempt = 0
         if policy is not None and self.resil is not None:
@@ -322,13 +402,20 @@ class Gateway:
                 return reply["result"]
             except (RpcError, RpcTimeout) as exc:
                 cause = _unwrap(exc)
+                # Shed requests were never executed: retrying them is
+                # safe and must not drain the retry budget — but the
+                # shedding layer's retry-after hint floors the backoff,
+                # so a storm of shed clients spreads out instead of
+                # re-arriving in lockstep.
+                shed = is_overload(exc)
                 if policy is None or not policy.should_retry(exc, attempt):
                     if self.monitor is not None:
                         self.monitor.on_invoke(t_start, self.env.now, False)
                     if isinstance(exc, RpcTimeout):
                         raise  # ambiguous: surface the timeout itself
                     raise cause from None
-                if self.resil is not None and not self.resil.budget.try_spend():
+                if (not shed and self.resil is not None
+                        and not self.resil.budget.try_spend()):
                     if self.monitor is not None:
                         self.monitor.on_invoke(t_start, self.env.now, False)
                     if isinstance(exc, RpcTimeout):
@@ -338,5 +425,9 @@ class Gateway:
                        else self.net.streams.stream("resil-jitter"))
                 if self.resil is not None:
                     self.resil.counters["retries"] += 1
-                yield self.env.timeout(policy.backoff(attempt, rng))
+                delay = policy.backoff(attempt, rng)
+                hint = retry_after_hint(exc)
+                if hint is not None:
+                    delay = max(delay, hint)
+                yield self.env.timeout(delay)
                 attempt += 1

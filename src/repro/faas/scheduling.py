@@ -46,8 +46,7 @@ class LocalityScheduler:
         best = min(
             range(len(preferred)),
             key=lambda i: (
-                preferred[(start + i) % len(preferred)].workers.in_use
-                + preferred[(start + i) % len(preferred)].workers.queued,
+                preferred[(start + i) % len(preferred)].queue_depth,
                 i,
             ),
         )

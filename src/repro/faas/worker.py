@@ -49,6 +49,12 @@ class FunctionNode:
     def name(self) -> str:
         return self.node.name
 
+    @property
+    def queue_depth(self) -> int:
+        """Invocations holding or waiting for a worker slot — the node's
+        load signal for scheduling, autoscaling, and the queue gauges."""
+        return self.workers.in_use + self.workers.queued
+
     def register_function(self, fn_name: str, handler: Callable) -> None:
         """``handler(ctx, arg)`` must be a generator function."""
         self._functions[fn_name] = handler

@@ -72,6 +72,7 @@ from repro.obs.critical_path import (
 from repro.obs.export import (
     attribution_report,
     monitor_instants,
+    queue_counters,
     self_times,
     slowest_trace,
     to_chrome_trace,
@@ -125,6 +126,7 @@ __all__ = [
     "flight_record_to_json",
     "load_artifact",
     "monitor_instants",
+    "queue_counters",
     "registry_from_cluster",
     "render_flight_record",
     "self_times",

@@ -50,20 +50,24 @@ class SLO:
       rate = observed p99 / target.
     - ``freshness_p99_s`` — ``objective`` is the append->readable p99
       target in seconds; burn rate = observed p99 / target.
+    - ``shed_rate`` — ``objective`` is the tolerable fraction of
+      arrivals the admission layer may shed (repro.admission); burn
+      rate = observed shed rate / objective.
     """
 
     name: str
     kind: str
     objective: float
 
-    KINDS = ("availability", "latency_p99_ms", "freshness_p99_s")
+    KINDS = ("availability", "latency_p99_ms", "freshness_p99_s", "shed_rate")
+    _RATIO_KINDS = ("availability", "shed_rate")
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
             raise ValueError(f"unknown SLO kind {self.kind!r}")
-        if self.kind == "availability" and not 0.0 < self.objective < 1.0:
-            raise ValueError("availability objective must be in (0, 1)")
-        if self.kind != "availability" and self.objective <= 0:
+        if self.kind in self._RATIO_KINDS and not 0.0 < self.objective < 1.0:
+            raise ValueError(f"{self.kind} objective must be in (0, 1)")
+        if self.kind not in self._RATIO_KINDS and self.objective <= 0:
             raise ValueError(f"{self.kind} objective must be positive")
 
 
@@ -91,6 +95,14 @@ class BurnRateRule:
                 return None
             budget = 1.0 - self.slo.objective
             return ((count - ok) / count) / budget
+        if kind == "shed_rate":
+            shed = getattr(hub, "shed", None)
+            if shed is None:
+                return None
+            count, ok = shed.counts(window=window, end=now)
+            if count < self.min_events:
+                return None
+            return ((count - ok) / count) / self.slo.objective
         if kind == "latency_p99_ms":
             source = hub.latency_ms
         else:
@@ -143,10 +155,13 @@ def default_rules(
     availability: float = 0.9,
     latency_p99_ms: float = 250.0,
     freshness_p99_s: float = 0.25,
+    shed_rate: float = 0.10,
 ) -> List[BurnRateRule]:
     """The stock rule set wired in by ``enable_monitoring``: one paging
     rule per SLO with a 2s fast window and a 10s slow window (virtual
-    seconds — chaos scenarios live on that timescale)."""
+    seconds — chaos scenarios live on that timescale). The shed-rate
+    rule is silent unless admission control is enabled and shedding
+    (the ``min_events`` guard never sees admission decisions otherwise)."""
     return [
         BurnRateRule(
             SLO("availability", "availability", availability),
@@ -158,6 +173,10 @@ def default_rules(
         ),
         BurnRateRule(
             SLO("freshness-p99", "freshness_p99_s", freshness_p99_s),
+            fast_window=2.0, slow_window=10.0, threshold=1.0,
+        ),
+        BurnRateRule(
+            SLO("shed-rate", "shed_rate", shed_rate),
             fast_window=2.0, slow_window=10.0, threshold=1.0,
         ),
     ]

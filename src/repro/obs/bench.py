@@ -49,6 +49,7 @@ FAST_SUBSET = (
     "benchmarks/test_table3_read_latency.py",
     "benchmarks/test_fig11c_primitives.py",
     "benchmarks/test_elasticity_autoscale.py",
+    "benchmarks/test_overload_goodput.py",
 )
 
 DEFAULT_ARTIFACT_DIR = "bench/artifacts"

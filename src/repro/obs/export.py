@@ -89,10 +89,42 @@ def monitor_instants(alerts=None, transitions=None) -> List[dict]:
     return events
 
 
+def queue_counters(registry) -> List[dict]:
+    """Chrome counter events (``ph: "C"``) from the ``queue.*`` gauges'
+    recorded time-series samples (gateway inflight, engine queue depth,
+    storage pending writes — see ``registry_from_cluster``).
+
+    The viewer renders each named counter as a stacked area chart in the
+    pid-0 lane, so queue growth under overload is visible alongside the
+    causal span timeline. Pass the result to :func:`to_chrome_trace` via
+    ``counters=``.
+    """
+    events: List[dict] = []
+    for name in registry.names("queue."):
+        samples = getattr(registry.get(name), "samples", None)
+        if not samples:
+            continue
+        for t, value in samples:
+            events.append(
+                {
+                    "args": {"value": value},
+                    "cat": "queue",
+                    "name": name,
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": round(t * _US, 3),
+                }
+            )
+    events.sort(key=lambda e: (e["ts"], e["name"]))
+    return events
+
+
 def to_chrome_trace(
     spans: Iterable[Span],
     trace_id: Optional[int] = None,
     instants: Optional[List[dict]] = None,
+    counters: Optional[List[dict]] = None,
 ) -> str:
     """Serialize spans as a Chrome ``trace_event`` JSON document.
 
@@ -100,6 +132,7 @@ def to_chrome_trace(
     becomes a "process" (named via metadata events); each trace becomes a
     "thread" within it, so concurrent requests stack as separate lanes.
     ``instants`` adds pre-built instant events (:func:`monitor_instants`)
+    and ``counters`` adds counter events (:func:`queue_counters`), both
     under a dedicated "monitor" process lane (pid 0).
     """
     selected = [s for s in spans if s.finished]
@@ -109,7 +142,7 @@ def to_chrome_trace(
     node_names = sorted({s.node or "?" for s in selected})
     pids = {name: i + 1 for i, name in enumerate(node_names)}
     events: List[dict] = []
-    if instants:
+    if instants or counters:
         events.append(
             {
                 "args": {"name": "monitor"},
@@ -119,7 +152,8 @@ def to_chrome_trace(
                 "tid": 0,
             }
         )
-        events.extend(instants)
+        events.extend(instants or [])
+        events.extend(counters or [])
     for name in node_names:
         events.append(
             {
@@ -161,8 +195,10 @@ def write_chrome_trace(
     spans: Iterable[Span],
     trace_id: Optional[int] = None,
     instants: Optional[List[dict]] = None,
+    counters: Optional[List[dict]] = None,
 ) -> str:
-    text = to_chrome_trace(spans, trace_id=trace_id, instants=instants)
+    text = to_chrome_trace(spans, trace_id=trace_id, instants=instants,
+                           counters=counters)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)

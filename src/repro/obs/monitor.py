@@ -651,6 +651,8 @@ class MonitorHub:
         self.storage = StorageMonitor(metalog=self.metalog)
         self.availability = SuccessWindow()
         self.latency_ms = SampleWindow()
+        self.shed = SuccessWindow()
+        self.shed_by_reason: Dict[str, int] = {}
         self.events_seen = 0
         self.alerts = None      # AlertManager, attached by enable_monitoring
         self.recorder = None    # FlightRecorder, attached by enable_monitoring
@@ -731,6 +733,21 @@ class MonitorHub:
                 {"ok": ok, "latency_ms": round((t_end - t_start) * 1e3, 6)},
             )
 
+    def on_admission(self, t: float, admitted: bool, priority: str,
+                     reason: str) -> None:
+        """Admission decision (gateway limiter or a node window) from
+        :mod:`repro.admission`. ``ok`` samples feed the shed-rate burn
+        window; sheds also land in the flight recorder."""
+        self.events_seen += 1
+        self.shed.record(t, admitted)
+        if not admitted:
+            self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+            if self.recorder is not None:
+                self.recorder.on_metric(
+                    t, "admission.shed",
+                    {"priority": priority, "reason": reason},
+                )
+
     def on_fault(self, entry: dict) -> None:
         """Fault injector applied an event (already timeline-shaped)."""
         self.events_seen += 1
@@ -757,6 +774,18 @@ class MonitorHub:
         self.flow.finish(expected_effects=expected_effects)
         self.storage.finish()
 
+    def admission_summary(self) -> dict:
+        """Windowless admission accounting for the verdict: how many
+        arrivals the admission layer saw, how many it shed, and why."""
+        count, ok = self.shed.counts()
+        return {
+            "decisions": count,
+            "admitted": ok,
+            "shed": count - ok,
+            "shed_rate": round((count - ok) / count, 6) if count else None,
+            "by_reason": dict(sorted(self.shed_by_reason.items())),
+        }
+
     def verdict(self) -> dict:
         """Deterministic JSON-serializable online verdict (the ``online``
         key of a ``repro.chaos/2`` artifact)."""
@@ -768,6 +797,7 @@ class MonitorHub:
             "passed": all(c["ok"] for c in checks),
             "freshness": self.freshness.summary(),
             "reconciliation": self.storage.summary(),
+            "admission": self.admission_summary(),
             "alerts": (
                 [a.to_dict() for a in self.alerts.alerts]
                 if self.alerts is not None else []

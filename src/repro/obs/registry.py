@@ -223,6 +223,22 @@ def registry_from_cluster(cluster, registry: Optional[MetricsRegistry] = None) -
     reg.gauge("cluster.term_id").set(term.term_id if term else 0)
     reg.gauge("cluster.reconfigurations").set(cluster.controller.reconfig_count)
     reg.gauge("net.messages_sent").set(cluster.net.messages_sent)
+    # Queue-state gauges (``queue.*`` names are point-in-time: the
+    # benchmark harness deliberately excludes them from artifact
+    # counters; the Chrome-trace exporter renders their recorded samples
+    # as counter events).
+    gateway = getattr(cluster, "gateway", None)
+    if gateway is not None:
+        reg.gauge("queue.gateway.inflight").set(gateway.inflight)
+        reg.gauge("queue.gateway.inflight_peak").set(gateway.inflight_peak)
+    for fnode in getattr(cluster, "function_nodes", []):
+        reg.gauge(f"queue.worker.{fnode.name}.depth").set(fnode.queue_depth)
+    for name, engine in sorted(cluster.engines.items()):
+        reg.gauge(f"queue.engine.{name}.depth").set(engine.appends_inflight)
+        reg.gauge(f"queue.engine.{name}.peak").set(engine.appends_inflight_peak)
+    for node in cluster.storage_nodes:
+        reg.gauge(f"queue.storage.{node.name}.pending").set(node.pending_writes)
+        reg.gauge(f"queue.storage.{node.name}.peak").set(node.pending_writes_peak)
     for name, engine in sorted(cluster.engines.items()):
         prefix = f"engine.{name}"
         reg.gauge(f"{prefix}.appends_started").set(engine.appends_started)

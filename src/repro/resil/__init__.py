@@ -13,6 +13,7 @@ Boki's exactly-once machinery.
 from repro.resil.breaker import CircuitBreaker, CircuitOpenError
 from repro.resil.policy import (
     FAILURE,
+    OVERLOAD,
     TIMEOUT,
     RetryBudget,
     RetryPolicy,
@@ -26,6 +27,7 @@ __all__ = [
     "CircuitOpenError",
     "DEFAULT_POLICY",
     "FAILURE",
+    "OVERLOAD",
     "Resilience",
     "RetryBudget",
     "RetryPolicy",

@@ -30,11 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple, Type
 
+from repro.admission.errors import is_overload
 from repro.sim.network import RpcError, RpcTimeout
 
 #: Failure kinds returned by :func:`classify`.
 TIMEOUT = "timeout"    # ambiguous: the request may or may not have executed
 FAILURE = "failure"    # definite: the remote handler raised
+OVERLOAD = "overload"  # definite: shed by admission control, never executed
 
 
 def unwrap_failure(exc: BaseException) -> BaseException:
@@ -53,8 +55,13 @@ def unwrap_failure(exc: BaseException) -> BaseException:
 
 
 def classify(exc: BaseException) -> str:
-    """Classify a transport-level failure as :data:`TIMEOUT` or
-    :data:`FAILURE` (see module docstring for why they differ)."""
+    """Classify a transport-level failure as :data:`TIMEOUT`,
+    :data:`FAILURE`, or :data:`OVERLOAD` (see module docstring for why
+    they differ). Overload sheds are *definite* — admission control
+    rejected the request before any work started — so retrying them is
+    always safe, but only after the shedder's retry-after hint."""
+    if is_overload(exc):
+        return OVERLOAD
     if isinstance(unwrap_failure(exc), RpcTimeout):
         return TIMEOUT
     return FAILURE

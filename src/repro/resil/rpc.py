@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Union
 
+from repro.admission.errors import is_overload, retry_after_hint
 from repro.resil.breaker import CircuitBreaker, CircuitOpenError
 from repro.resil.policy import RetryBudget, RetryPolicy
 from repro.sim.kernel import Environment
@@ -78,6 +79,15 @@ class Resilience:
         if self._rng is None:
             self._rng = self.streams.stream("resil-jitter")
         return self._rng
+
+    def _retry_delay(self, policy: RetryPolicy, attempt: int,
+                     exc: BaseException) -> float:
+        """Jittered backoff floored at the failure's machine-readable
+        retry-after hint (admission sheds, fail-fast rejections) — resil
+        and admission pace retries from the same signal."""
+        delay = policy.backoff(attempt, self.jitter_rng())
+        hint = retry_after_hint(exc)
+        return delay if hint is None else max(delay, hint)
 
     def breaker(self, destination: str) -> CircuitBreaker:
         breaker = self.breakers.get(destination)
@@ -131,13 +141,20 @@ class Resilience:
                     timeout=timeout if timeout is not None else policy.attempt_timeout,
                 )
             except (RpcError, RpcTimeout) as exc:
-                breaker.record_failure()
+                # Overload sheds: no breaker failure (the node is up,
+                # just saturated), no budget charge (nothing executed),
+                # and the shedder's retry-after hint floors the backoff.
+                shed = is_overload(exc)
+                if not shed:
+                    breaker.record_failure()
                 if not policy.should_retry(exc, attempt):
                     raise
-                if not self.budget.try_spend():
+                if not shed and not self.budget.try_spend():
                     raise
                 self.counters["retries"] += 1
-                yield self.env.timeout(policy.backoff(attempt, self.jitter_rng()))
+                yield self.env.timeout(
+                    self._retry_delay(policy, attempt, exc)
+                )
                 attempt += 1
                 continue
             breaker.record_success()
@@ -190,16 +207,20 @@ class Resilience:
                     timeout=timeout if timeout is not None else policy.attempt_timeout,
                 )
             except (RpcError, RpcTimeout) as exc:
-                self.breaker(names[chosen]).record_failure()
+                shed = is_overload(exc)
+                if not shed:
+                    self.breaker(names[chosen]).record_failure()
                 if not policy.should_retry(exc, attempt):
                     raise
-                if not self.budget.try_spend():
+                if not shed and not self.budget.try_spend():
                     raise
                 self.counters["retries"] += 1
                 if len(names) > 1:
                     self.counters["failovers"] += 1
                 offset = chosen + 1
-                yield self.env.timeout(policy.backoff(attempt, self.jitter_rng()))
+                yield self.env.timeout(
+                    self._retry_delay(policy, attempt, exc)
+                )
                 attempt += 1
                 continue
             self.breaker(names[chosen]).record_success()
@@ -230,10 +251,12 @@ class Resilience:
             except retry_on as exc:
                 if not policy.should_retry(exc, attempt):
                     raise
-                if not self.budget.try_spend():
+                if not is_overload(exc) and not self.budget.try_spend():
                     raise
                 self.counters["retries"] += 1
-                yield self.env.timeout(policy.backoff(attempt, self.jitter_rng()))
+                yield self.env.timeout(
+                    self._retry_delay(policy, attempt, exc)
+                )
                 attempt += 1
                 continue
             return result

@@ -37,13 +37,24 @@ class RpcError(Exception):
 
 
 class RpcTimeout(Exception):
-    """No reply arrived within the RPC timeout (drop, crash, or partition)."""
+    """No reply arrived within the RPC timeout (drop, crash, or partition).
 
-    def __init__(self, method: str, dst: str, timeout: float):
+    ``retry_after`` is an optional machine-readable pacing hint (seconds)
+    for retry layers: fail-fast rejections (the destination *definitely*
+    crashed mid-call) carry ``0.0`` — fail over elsewhere immediately,
+    there is nothing to wait for — while ordinary (ambiguous) timeouts
+    carry ``None`` and leave pacing to the caller's backoff policy.
+    ``repro.resil`` treats the hint as a floor on its backoff; see
+    ``repro.admission.retry_after_hint``.
+    """
+
+    def __init__(self, method: str, dst: str, timeout: float,
+                 retry_after: Optional[float] = None):
         super().__init__(f"rpc {method!r} to {dst} timed out after {timeout}s")
         self.method = method
         self.dst = dst
         self.timeout = timeout
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -387,7 +398,11 @@ class Network:
             if span is not None:
                 span.finish(STATUS_TIMEOUT, timeout=timeout)
                 obs.metrics.counter("net.rpc.timeouts").incr()
-            raise RpcTimeout(method, dst.name, timeout)
+            # Fail-fast (the destination crashed mid-call): hint 0.0 —
+            # the node is definitely down, fail over now rather than
+            # pacing as if it might still answer.
+            raise RpcTimeout(method, dst.name, timeout,
+                             retry_after=0.0 if down.triggered else None)
         status, value = reply.value
         if status == "err":
             if span is not None:
