@@ -4,7 +4,7 @@ Commands
 --------
 ``list``
     Show the scenario catalog.
-``run <scenario>|all|fast|recovery|elastic|admission [--seed N | --seeds N N ...] [--out DIR]``
+``run <scenario>|all|fast|recovery|elastic|admission|tenant [--seed N | --seeds N N ...] [--out DIR]``
     Execute scenarios, write verdict artifacts, print a summary; exits
     non-zero if any scenario's verdict is not ``passed`` or its online
     monitors disagree. ``--no-monitors`` disables the online monitors;
@@ -26,6 +26,7 @@ from repro.chaos.scenarios import (
     elastic_scenarios,
     fast_scenarios,
     recovery_scenarios,
+    tenant_scenarios,
 )
 
 
@@ -42,6 +43,8 @@ def _cmd_list(_args) -> int:
             flags.append("elastic")
         if scenario.admission:
             flags.append("admission")
+        if scenario.tenant:
+            flags.append("tenant")
         if scenario.expect_violations:
             flags.append("expects-violations")
         suffix = f"  [{', '.join(flags)}]" if flags else ""
@@ -60,11 +63,14 @@ def _resolve(selector: str) -> List[str]:
         return elastic_scenarios()
     if selector == "admission":
         return admission_scenarios()
+    if selector == "tenant":
+        return tenant_scenarios()
     if selector not in SCENARIOS:
         known = ", ".join(all_scenarios())
         raise SystemExit(
             f"unknown scenario {selector!r} "
-            f"(known: {known}, all, fast, recovery, elastic, admission)"
+            f"(known: {known}, all, fast, recovery, elastic, admission, "
+            f"tenant)"
         )
     return [selector]
 
@@ -133,7 +139,7 @@ def main(argv=None) -> int:
     run = sub.add_parser("run", help="run scenarios and write verdicts")
     run.add_argument("scenario",
                      help="scenario name, 'all', 'fast', 'recovery', "
-                          "'elastic', or 'admission'")
+                          "'elastic', 'admission', or 'tenant'")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--seeds", type=int, nargs="+", default=None,
                      help="run each scenario once per seed")

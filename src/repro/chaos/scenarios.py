@@ -76,6 +76,10 @@ class Scenario:
     #: drives saturating load against the admission/backpressure layer (or
     #: its no-admission baseline) and checks the goodput SLO.
     admission: bool = False
+    #: Part of the tenancy suite (``python -m repro.chaos run tenant``):
+    #: multi-tenant load with per-tenant QoS, checking isolation and
+    #: weighted-fair shedding (noisy-neighbor containment).
+    tenant: bool = False
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -83,10 +87,11 @@ SCENARIOS: Dict[str, Scenario] = {}
 
 def _scenario(name: str, description: str, expect_violations: bool = False,
               fast: bool = False, recovery: bool = False,
-              elastic: bool = False, admission: bool = False):
+              elastic: bool = False, admission: bool = False,
+              tenant: bool = False):
     def deco(fn):
         SCENARIOS[name] = Scenario(name, description, fn, expect_violations,
-                                   fast, recovery, elastic, admission)
+                                   fast, recovery, elastic, admission, tenant)
         return fn
     return deco
 
@@ -1250,7 +1255,7 @@ _BULK_COST = 0.0105
 def _overload_clients(cluster: BokiCluster, history: History, rate: float,
                       duration: float, policy=None, timeout=None,
                       priority: str = "interactive", start: float = 0.0,
-                      kind: str = "bulk.op"):
+                      kind: str = "bulk.op", tenant: Optional[str] = None):
     """Open-loop ``bulk-op`` arrivals at ``rate``/s for ``duration``.
 
     Open loop is what makes overload *sustained*: every arrival is its
@@ -1273,7 +1278,7 @@ def _overload_clients(cluster: BokiCluster, history: History, rate: float,
         try:
             result = yield from cluster.invoke(
                 "bulk-op", i, timeout=timeout, policy=policy,
-                priority=priority,
+                priority=priority, tenant=tenant,
             )
         except Exception as exc:
             history.fail(op, type(exc).__name__)
@@ -1698,6 +1703,125 @@ def split_brain_controller_during_scale_out(seed: int) -> ScenarioResult:
                           online=_online(cluster))
 
 
+@_scenario(
+    "noisy-neighbor-batch-flood",
+    "Two tenants share one cluster: a well-behaved interactive tenant "
+    "rides under its weighted share while a flood tenant offers ~2x "
+    "saturation of batch work. Weighted-fair admission must shed the "
+    "flood (>= 90% of all sheds) and keep the victim's availability and "
+    "latency, with goodput holding near saturation — noisy-neighbor "
+    "containment as a verdict.",
+    fast=True,
+    admission=True,
+    tenant=True,
+)
+def noisy_neighbor_batch_flood(seed: int) -> ScenarioResult:
+    from repro.admission import BATCH, AdaptiveLimiter
+
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3, num_sequencer_nodes=3,
+        workers_per_node=4, seed=seed,
+    )
+    tenancy = cluster.enable_tenancy()
+    tenancy.registry.register("victim", weight=3.0)
+    tenancy.registry.register("flood", weight=1.0)
+    # Sized for the fleet (2 engines x 4 workers x 10 ms saturate at
+    # ~24 concurrent before latency passes the 50 ms target), so the
+    # limiter starts at equilibrium instead of discovering it mid-flood.
+    ctrl = cluster.enable_admission(
+        limiter=AdaptiveLimiter(initial=24.0, target_latency=0.050),
+    )
+    hub = _monitor(cluster, "noisy-neighbor-batch-flood", seed)
+    cluster.boot()
+    env = cluster.env
+    history = History(env)
+    _register_bulk_fn(cluster)
+
+    # The victim's steady interactive load sits well under its 3/4
+    # weighted share; the flood offers ~2x the whole fleet's saturation
+    # as a batch flash crowd. The injected condition IS the load: a
+    # timeline marker documents it like any other fault.
+    workers = 2 * 4
+    saturation = workers / _BULK_COST
+    victim_rate, victim_duration = 150.0, 2.0
+    flood_at, flood_rate, flood_duration = 0.4, 1400.0, 1.2
+    plan = FaultPlan().call(flood_at, f"batch-flood-{int(flood_rate)}rps",
+                            lambda: None)
+    injector = FaultInjector(env, cluster.net, plan)
+    _attach(hub, injector)
+    injector.start()
+    peaks: Dict[str, float] = {}
+    _worker_peak(cluster, peaks)
+    victim_gen, victim_ops = _overload_clients(
+        cluster, history, victim_rate, victim_duration,
+        kind="victim.op", tenant="victim")
+    flood_gen, flood_ops = _overload_clients(
+        cluster, history, flood_rate, flood_duration, priority=BATCH,
+        start=flood_at, kind="flood.op", tenant="flood")
+    _drive_all(cluster, [victim_gen, flood_gen], limit=300.0)
+    _drive_all(cluster, victim_ops + flood_ops, limit=300.0)
+
+    # Measure inside the contended window only.
+    window_start, window_end = 0.5, flood_at + flood_duration
+    report = overload_report(
+        history, window_start, window_end,
+        kinds=("victim.op", "flood.op"),
+        saturation_goodput=saturation,
+        queue_peaks={
+            "gateway.inflight": cluster.gateway.inflight_peak,
+            "worker.depth": peaks["worker.depth"],
+        },
+        shed=ctrl.total_shed(),
+        admission=ctrl.snapshot(),
+        enabled=True,
+    )
+    victim_report = overload_report(history, window_start, window_end,
+                                    kinds=("victim.op",))
+    flood_report = overload_report(history, window_start, window_end,
+                                   kinds=("flood.op",))
+    fairness = tenancy.fairness_snapshot()
+    # The per-tenant fairness block rides in the verdict's overload dict.
+    report["tenants"] = {
+        "victim": victim_report,
+        "flood": flood_report,
+        "fairness": fairness,
+    }
+    victim_avail = (victim_report["completed_ok"] / victim_report["offered"]
+                    if victim_report["offered"] else 0.0)
+    flood_shed_share = (
+        fairness["tenants"].get("flood", {}).get("shed_share") or 0.0)
+    checks = [
+        check_metalog(cluster),
+        check_goodput_slo(report, min_goodput_fraction=0.7,
+                          max_accepted_p99=0.25, max_queue_peak=128),
+        _sanity([
+            (report["offered"] > 0.9 * (
+                victim_rate + flood_rate) * (window_end - window_start)
+             * (flood_rate / (victim_rate + flood_rate)),
+             "offered load fell below the flood rate"),
+            (ctrl.total_shed() > 0,
+             "the flood never tripped admission control"),
+            (flood_shed_share >= 0.9,
+             f"the flood tenant absorbed only {flood_shed_share:.2f} "
+             f"of the sheds (>= 0.9 required)"),
+            (victim_avail >= 0.9,
+             f"victim availability {victim_avail:.2f} under the flood "
+             f"(>= 0.9 required)"),
+            ((victim_report["accepted_p99_s"] or 1.0) <= 0.25,
+             f"victim accepted p99 {victim_report['accepted_p99_s']}s "
+             f"exceeds 0.25s under the flood"),
+        ]),
+    ]
+    stats = _base_stats(cluster, history)
+    stats["gateway_inflight_peak"] = cluster.gateway.inflight_peak
+    stats["worker_depth_peak"] = peaks["worker.depth"]
+    stats["shed_total"] = ctrl.total_shed()
+    stats["flood_shed_share"] = round(flood_shed_share, 6)
+    stats["victim_availability"] = round(victim_avail, 6)
+    return ScenarioResult(checks, injector.timeline, stats, overload=report,
+                          online=_online(cluster))
+
+
 def fast_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.fast)
 
@@ -1712,6 +1836,10 @@ def elastic_scenarios() -> List[str]:
 
 def admission_scenarios() -> List[str]:
     return sorted(name for name, s in SCENARIOS.items() if s.admission)
+
+
+def tenant_scenarios() -> List[str]:
+    return sorted(name for name, s in SCENARIOS.items() if s.tenant)
 
 
 def all_scenarios() -> List[str]:

@@ -113,6 +113,7 @@ class BokiCluster:
         self.elastic = None
         self.monitor = None
         self.admission = None
+        self.tenancy = None
 
     # ------------------------------------------------------------------
     # Observability (repro.obs)
@@ -290,6 +291,37 @@ class BokiCluster:
             self.elastic.start()
         return self.elastic
 
+    # ------------------------------------------------------------------
+    # Multi-tenancy (repro.tenant)
+    # ------------------------------------------------------------------
+    def enable_tenancy(self, registry=None):
+        """Switch on first-class multi-tenancy: per-tenant log spaces,
+        QoS (token-bucket rate limits + weighted-fair admission), and
+        per-tenant accounting. Returns the
+        :class:`~repro.tenant.TenancyHub`.
+
+        Register tenants with :meth:`register_tenant`, then label work
+        with ``invoke(..., tenant="acme")`` / ``logbook(...,
+        tenant="acme")``. Unlabelled work belongs to the reserved
+        ``default`` tenant, whose log space maps identically — so a
+        cluster that enables tenancy but registers no tenants runs
+        byte-identical to one that never did.
+        """
+        from repro.tenant import TenancyHub
+
+        if self.tenancy is not None:
+            return self.tenancy
+        hub = self.tenancy = TenancyHub(self.env, registry, cluster=self)
+        self.gateway.tenancy = hub
+        return hub
+
+    def register_tenant(self, tenant: str, **qos):
+        """Register a tenant on the tenancy hub (enable_tenancy first);
+        QoS keywords as in :class:`~repro.tenant.TenantQoS`."""
+        if self.tenancy is None:
+            raise RuntimeError("call enable_tenancy() before registering tenants")
+        return self.tenancy.registry.register(tenant, **qos)
+
     def metrics_snapshot(self):
         """Current cluster metrics as a :class:`~repro.obs.MetricsRegistry`
         (component counters plus any live obs metrics)."""
@@ -337,39 +369,66 @@ class BokiCluster:
     def any_engine(self) -> LogBookEngine:
         return next(iter(self.engines.values()))
 
-    def logbook(self, book_id: int, engine: Optional[LogBookEngine] = None) -> LogBook:
+    def logbook(self, book_id: int, engine: Optional[LogBookEngine] = None,
+                tenant: Optional[str] = None) -> LogBook:
         """A standalone LogBook handle (microbenchmarks, tests); bound to
-        ``engine`` or round-robin over the function nodes."""
+        ``engine`` or round-robin over the function nodes. With a
+        ``tenant`` label (tenancy enabled), the book id and every
+        explicit tag are namespaced into the tenant's log space."""
         if engine is None:
             names = list(self.engines)
             engine = self.engines[names[next(self._book_rr) % len(names)]]
-        return LogBook.standalone(engine, book_id)
+        from repro.tenant.hub import resolve_tenant
+
+        tenant = resolve_tenant(tenant, self.tenancy)
+        if tenant is None:
+            return LogBook.standalone(engine, book_id)
+        registry = self.tenancy.registry
+        return LogBook.standalone(
+            engine,
+            registry.scope_book(tenant, book_id),
+            tag_scope=registry.tag_scope(tenant),
+        )
 
     def register_function(self, fn_name: str, handler: Callable) -> None:
         self.gateway.register_function(fn_name, handler)
 
     def invoke(self, fn_name: str, arg: Any = None, book_id: Optional[int] = None,
                timeout: Optional[float] = None, policy=None,
-               priority: str = "interactive") -> Generator:
+               priority: str = "interactive",
+               tenant: Optional[str] = None) -> Generator:
         """External invocation from the cluster's client node.
 
         ``priority`` is the admission class (``"interactive"`` or
         ``"batch"``, see :mod:`repro.admission`) — ignored unless
         ``enable_admission`` is on, where batch traffic sheds first.
+        ``tenant`` labels the invocation for per-tenant QoS and log-space
+        isolation (``repro.tenant``); with tenancy enabled, unlabelled
+        invocations belong to the reserved ``default`` tenant.
         """
+        from repro.tenant.hub import resolve_tenant
+
+        tenant = resolve_tenant(tenant, self.tenancy)
+        if tenant is not None and book_id is not None:
+            book_id = self.tenancy.registry.scope_book(tenant, book_id)
         return (
             yield from self.gateway.external_invoke(
                 self.client_node, fn_name, arg, book_id=book_id,
                 timeout=timeout, policy=policy, priority=priority,
+                tenant=tenant,
             )
         )
 
     def logbook_for(self, ctx: FunctionContext) -> LogBook:
         """The LogBook bound to a function context — looks up the engine
         co-located on the context's node (what Boki's runtime does when a
-        function makes LogBook API calls)."""
+        function makes LogBook API calls). The context's book id arrives
+        already scoped; a tenant label adds the tag-scoping hook."""
         engine = self.engines[ctx.node.name]
-        return LogBook.for_context(engine, ctx)
+        tag_scope = None
+        if self.tenancy is not None and ctx.tenant is not None:
+            tag_scope = self.tenancy.registry.tag_scope(ctx.tenant)
+        return LogBook.for_context(engine, ctx, tag_scope=tag_scope)
 
     def run(self, until: float) -> None:
         self.env.run(until=until)

@@ -9,6 +9,16 @@ only — so one machine holds the whole thing.
 
 Tag 0 is the implicit "every record of the book" tag: all records appear in
 row ``(book_id, 0)`` in addition to rows for their explicit tags.
+
+Log spaces (``repro.tenant``): Boki's multi-tenant design carves one
+isolated shared-log namespace per tenant out of the common metalog (§3).
+We model a namespace as a *log space* — a small integer prefixed into the
+high bits of every book id and explicit tag before they reach the index,
+so two tenants using the same raw book/tag land in disjoint ``(book_id,
+tag)`` rows and one tenant's records are structurally invisible to the
+other's lookups. Log space 0 is the reserved default tenant and maps
+identically (scoped value == raw value), which is what keeps
+tenancy-off runs byte-identical to historical seeds.
 """
 
 from __future__ import annotations
@@ -16,10 +26,52 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.metalog import TrimCommand
+from repro.core.metalog import (
+    DEFAULT_LOGSPACE,
+    LOGSPACE_SHIFT,
+    MAX_RAW_ID,
+    TrimCommand,
+)
 
 #: The implicit tag present on every record.
 ALL_TAG = 0
+
+
+def scope_book(logspace: int, book_id: int) -> int:
+    """Namespace a raw book id into ``logspace``. Identity for the
+    default log space (0), so unconfigured runs see historical ids."""
+    if logspace == DEFAULT_LOGSPACE:
+        return book_id
+    if not 0 <= book_id <= MAX_RAW_ID:
+        raise ValueError(f"book id {book_id} outside the raw 64-bit space")
+    return (logspace << LOGSPACE_SHIFT) | book_id
+
+
+def scope_tag(logspace: int, tag: int) -> int:
+    """Namespace a raw explicit tag into ``logspace``.
+
+    :data:`ALL_TAG` (0) is never prefixed: it is the *implicit* row and,
+    because book ids are themselves namespaced, the all-records row of a
+    scoped book is already tenant-private.
+    """
+    if logspace == DEFAULT_LOGSPACE or tag == ALL_TAG:
+        return tag
+    if not 0 <= tag <= MAX_RAW_ID:
+        raise ValueError(f"tag {tag} outside the raw 64-bit space")
+    return (logspace << LOGSPACE_SHIFT) | tag
+
+
+def unscope_tag(logspace: int, tag: int) -> int:
+    """Strip the log-space prefix from a scoped tag (identity for the
+    default log space and for :data:`ALL_TAG`)."""
+    if logspace == DEFAULT_LOGSPACE or tag == ALL_TAG:
+        return tag
+    return tag & MAX_RAW_ID
+
+
+def logspace_of(scoped_id: int) -> int:
+    """The log space a scoped book id or tag belongs to (0 = default)."""
+    return scoped_id >> LOGSPACE_SHIFT
 
 
 class LogIndex:

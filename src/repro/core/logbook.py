@@ -10,6 +10,14 @@ simulation process::
 
     seqnum = yield from book.append({"op": "push"}, tags=[7])
     record = yield from book.read_next(tag=7, min_seqnum=0)
+
+Multi-tenancy (``repro.tenant``): a handle created for a tenant carries a
+``tag_scope`` — explicit tags are namespaced into the tenant's log space
+on the way out (append/read/trim) and stripped on returned records, so
+user code keeps raw tags while the index sees tenant-private rows. The
+book id arrives *already* scoped (the registry scopes it when the handle
+or invocation is created). No scope (the default tenant) is the identity
+fast path: zero extra work, byte-identical to historical runs.
 """
 
 from __future__ import annotations
@@ -45,24 +53,39 @@ class LogBook:
         engine: LogBookEngine,
         book_id: int,
         positions: Optional[Dict[int, MetalogPosition]] = None,
+        tag_scope=None,
     ):
         self.engine = engine
         self.env = engine.env
         self.book_id = book_id
         self._positions: Dict[int, MetalogPosition] = positions if positions is not None else {}
+        #: Tenant tag hook (repro.tenant.TagScope) or None (identity).
+        self.tag_scope = tag_scope
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def for_context(cls, engine: LogBookEngine, ctx) -> "LogBook":
+    def for_context(cls, engine: LogBookEngine, ctx, tag_scope=None) -> "LogBook":
         """Bind to a function context; positions travel in baggage."""
         positions = ctx.baggage.setdefault(BAGGAGE_POSITIONS, {})
-        return cls(engine, ctx.book_id, positions)
+        return cls(engine, ctx.book_id, positions, tag_scope=tag_scope)
 
     @classmethod
-    def standalone(cls, engine: LogBookEngine, book_id: int) -> "LogBook":
-        return cls(engine, book_id)
+    def standalone(cls, engine: LogBookEngine, book_id: int,
+                   tag_scope=None) -> "LogBook":
+        return cls(engine, book_id, tag_scope=tag_scope)
+
+    # ------------------------------------------------------------------
+    # Tenant tag scoping (identity when tag_scope is None)
+    # ------------------------------------------------------------------
+    def _scope(self, tag: int) -> int:
+        return tag if self.tag_scope is None else self.tag_scope.scope(tag)
+
+    def _unscope_all(self, tags) -> tuple:
+        if self.tag_scope is None:
+            return tuple(tags)
+        return tuple(self.tag_scope.unscope(t) for t in tags)
 
     # ------------------------------------------------------------------
     # Position bookkeeping
@@ -90,6 +113,7 @@ class LogBook:
         tags = tuple(tags)
         if ALL_TAG in tags:
             raise LogBookError("tag 0 is reserved (the implicit all-records tag)")
+        tags = tuple(self._scope(t) for t in tags)
         yield from self._ipc()
         seqnum, position = yield from self.engine.append(self.book_id, tags, data)
         self._advance(self.engine.term_config.log_for_book(self.book_id), position)
@@ -113,7 +137,7 @@ class LogBook:
     def _read(self, direction: str, tag: int, bound: int) -> Generator:
         yield from self._ipc()
         reply, updated = yield from self.engine.read(
-            self.book_id, tag, direction, bound, dict(self._positions)
+            self.book_id, self._scope(tag), direction, bound, dict(self._positions)
         )
         for log_id, position in updated.items():
             self._advance(log_id, position)
@@ -122,7 +146,7 @@ class LogBook:
             return None
         return LogRecord(
             seqnum=reply["seqnum"],
-            tags=tuple(reply["tags"]),
+            tags=self._unscope_all(reply["tags"]),
             data=reply["data"],
             auxdata=reply.get("auxdata"),
             book_id=reply["book_id"],
@@ -132,7 +156,7 @@ class LogBook:
         """logTrim: delete records with seqnum <= until_seqnum (for ``tag``,
         or the whole book when tag is 0)."""
         yield from self._ipc()
-        yield from self.engine.trim(self.book_id, tag, until_seqnum)
+        yield from self.engine.trim(self.book_id, self._scope(tag), until_seqnum)
         yield from self._ipc()
 
     def set_auxdata(self, seqnum: int, auxdata: Any) -> Generator:
@@ -150,7 +174,8 @@ class LogBook:
         the support libraries use this for log replay."""
         yield from self._ipc()
         replies, updated = yield from self.engine.read_range(
-            self.book_id, tag, min_seqnum, max_seqnum, dict(self._positions)
+            self.book_id, self._scope(tag), min_seqnum, max_seqnum,
+            dict(self._positions)
         )
         for log_id, position in updated.items():
             self._advance(log_id, position)
@@ -158,7 +183,7 @@ class LogBook:
         return [
             LogRecord(
                 seqnum=reply["seqnum"],
-                tags=tuple(reply["tags"]),
+                tags=self._unscope_all(reply["tags"]),
                 data=reply["data"],
                 auxdata=reply.get("auxdata"),
                 book_id=reply["book_id"],

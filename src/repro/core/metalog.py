@@ -9,12 +9,29 @@ sealing the metalog freezes the log for reconfiguration (fault tolerance).
 
 This module holds the pure metalog state machine; replication across
 sequencer nodes lives in :mod:`repro.core.sequencer`.
+
+Multi-tenancy: one metalog orders records for *every* tenant sharing its
+physical log — isolation is by namespace, not by separate logs (§3). The
+log-space prefix layout is defined here (the metalog is the lowest layer
+that sees scoped ids, inside trim commands); the scoping functions live
+in :mod:`repro.core.index`, and the tenant -> log-space assignment in
+:mod:`repro.tenant.registry`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
+
+#: Log-space prefix layout shared by the index and the tenant registry:
+#: raw book ids and tags occupy the low 64 bits (wide enough for the
+#: support libraries' 61-bit hashed tags); the owning log space is
+#: prefixed above them, riding on Python's arbitrary-precision ints.
+#: Log space 0 (the reserved default tenant) maps identically, so
+#: single-tenant deployments see historical ids.
+LOGSPACE_SHIFT = 64
+DEFAULT_LOGSPACE = 0
+MAX_RAW_ID = (1 << LOGSPACE_SHIFT) - 1
 
 
 class SealedError(Exception):
@@ -25,11 +42,19 @@ class SealedError(Exception):
 class TrimCommand:
     """A trim propagated through the metalog (§4.4): delete the index rows
     of ``(book_id, tag)`` up to and including ``until_seqnum``. ``tag=0``
-    (the implicit every-record tag) trims the whole LogBook."""
+    (the implicit every-record tag) trims the whole LogBook.
+
+    Book id and tag arrive already log-space-scoped (the LogBook handle
+    scopes them), so a tenant's trim can only ever name its own rows."""
 
     book_id: int
     tag: int
     until_seqnum: int
+
+    @property
+    def logspace(self) -> int:
+        """The log space this trim is confined to (0 = default tenant)."""
+        return self.book_id >> LOGSPACE_SHIFT
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,12 @@ every function node's engine owns a shard of every physical log; each
 shard is backed by ``ndata`` storage nodes; each metalog lives on ``nmeta``
 sequencers; a configurable subset of engines maintains each log's index
 (4 per physical log in the paper's default setup).
+
+:func:`assign_tenant_engines` adds the multi-tenant dimension
+(``repro.tenant``): which engines each tenant's invocations should land
+on. Pinned (large) tenants get dedicated engines sized by their weight
+share; spread tenants get a rotation-offset subset of the remaining
+fleet so no two small tenants pile onto the same engines.
 """
 
 from __future__ import annotations
@@ -120,3 +126,55 @@ def build_term(
         )
     ring = ConsistentHashRing(list(range(num_logs)), num_partitions=config.ring_partitions)
     return TermConfig(term_id=term_id, logs=logs, ring=ring)
+
+
+def assign_tenant_engines(
+    qos_by_tenant: Dict[str, object],
+    engine_names: Sequence[str],
+    term_id: int = 0,
+    spread: Optional[int] = None,
+) -> Dict[str, List[str]]:
+    """Deterministically place tenants onto the engine fleet.
+
+    ``qos_by_tenant`` maps tenant name -> QoS (anything with ``pinned``
+    and ``weight`` attributes, i.e. :class:`~repro.tenant.TenantQoS`),
+    in registration order. Pinned tenants are carved dedicated engines
+    off the front of the fleet — each gets a contiguous slice sized by
+    its share of the total pinned weight (at least one engine), capped so
+    at least one engine always remains shared. Unpinned tenants each get
+    ``spread`` engines (default: the whole shared pool) chosen at a
+    stable-hash rotation offset into the shared pool, so small tenants
+    scatter instead of stacking.
+
+    Returns tenant -> preferred engine names; feed it to
+    :class:`~repro.faas.scheduling.TenantScheduler`.
+    """
+    if not engine_names:
+        raise ValueError("need at least one engine")
+    engines = list(engine_names)
+    pinned = [t for t, q in qos_by_tenant.items() if getattr(q, "pinned", False)]
+    placement: Dict[str, List[str]] = {}
+    cursor = 0
+    if pinned:
+        # Budget: leave at least one shared engine for everyone else.
+        budget = max(len(pinned), len(engines) - 1)
+        total_weight = sum(
+            getattr(qos_by_tenant[t], "weight", 1.0) for t in pinned
+        )
+        for tenant in pinned:
+            weight = getattr(qos_by_tenant[tenant], "weight", 1.0)
+            want = max(1, int(budget * weight / total_weight))
+            remaining_pinned = len(pinned) - len(placement) - 1
+            want = min(want, budget - cursor - remaining_pinned)
+            want = max(1, want)
+            slice_ = [engines[(cursor + i) % len(engines)] for i in range(want)]
+            placement[tenant] = slice_
+            cursor += want
+    shared = engines[cursor:] or engines
+    for tenant, qos in qos_by_tenant.items():
+        if tenant in placement:
+            continue
+        width = min(len(shared), spread) if spread else len(shared)
+        start = stable_hash((term_id, tenant), salt="tenant-placement") % len(shared)
+        placement[tenant] = [shared[(start + i) % len(shared)] for i in range(width)]
+    return placement

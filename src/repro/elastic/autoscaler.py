@@ -159,6 +159,15 @@ class Autoscaler:
                 self.registry.gauge("elastic.fleet.storage").record(
                     now, len(self.active_storage)
                 )
+                tenancy = getattr(self.cluster, "tenancy", None)
+                if tenancy is not None:
+                    # Per-tenant demand (windowed arrival rate): the signal
+                    # a tenant-aware scaling policy keys on, and the lane
+                    # that shows *whose* traffic drove a scale-out.
+                    for tenant, rps in tenancy.demand().items():
+                        self.registry.gauge(
+                            f"elastic.tenant.{tenant}.demand"
+                        ).record(now, rps)
                 e_delta = self.engine_policy.observe(
                     now, signals["engine_util"], len(self.active_engines)
                 )

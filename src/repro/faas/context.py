@@ -33,6 +33,10 @@ class FunctionContext:
     baggage:
         Mutable dict inherited by child invocations and merged back by the
         registered merge functions when a child returns.
+    tenant:
+        The tenant this invocation runs on behalf of (``repro.tenant``);
+        ``None`` when tenancy is not enabled. Children inherit it, so a
+        whole call tree stays inside one tenant's log space.
     """
 
     #: Merge functions applied per baggage key when a child returns:
@@ -48,6 +52,7 @@ class FunctionContext:
         book_id: Optional[int] = None,
         baggage: Optional[Dict[str, Any]] = None,
         parent_id: Optional[int] = None,
+        tenant: Optional[str] = None,
     ):
         self.node = node
         self._gateway_invoke = gateway_invoke
@@ -55,6 +60,7 @@ class FunctionContext:
         self.book_id = book_id
         self.baggage: Dict[str, Any] = dict(baggage or {})
         self.parent_id = parent_id
+        self.tenant = tenant
         #: Extension slot: Boki attaches the LogBook client here.
         self.services: Dict[str, Any] = {}
 
@@ -76,6 +82,7 @@ class FunctionContext:
             book_id=book_id if book_id is not None else self.book_id,
             baggage=dict(self.baggage),
             parent_id=self.call_id,
+            tenant=self.tenant,
         )
         self.absorb(child_baggage)
         return result

@@ -98,6 +98,9 @@ class Gateway:
         #: Admission controller (repro.admission), set by
         #: enable_admission; None admits everything.
         self.admission = None
+        #: Tenancy hub (repro.tenant), set by enable_tenancy; None keeps
+        #: the single-tenant fast path (no per-tenant accounting at all).
+        self.tenancy = None
         #: Gateway-inflight external invocations — maintained always
         #: (plain arithmetic) so the queue gauge exists with or without
         #: admission control.
@@ -180,13 +183,29 @@ class Gateway:
         slot. Completion latency feeds the adaptive limiter; downstream
         overloads (an engine or storage window shed an admitted request)
         feed back as multiplicative decrease.
+
+        With tenancy enabled (``repro.tenant``), a labelled arrival first
+        passes its tenant's token bucket, then the *weighted-fair*
+        composition of the admission check (an over-share tenant sheds
+        first; an under-share tenant is never starved), and — when the
+        fair-dispatch gate is configured — drains through the per-tenant
+        DRR queue before reaching a worker.
         """
         if payload["fn"] not in self._functions:
             raise FunctionNotFoundError(payload["fn"])
-        if self.admission is not None:
+        priority = payload.get("priority", INTERACTIVE)
+        tenant = payload.get("tenant")
+        hub = self.tenancy if tenant is not None else None
+        if hub is not None:
+            hub.on_arrival(tenant, priority)
+            if self.admission is not None:
+                hub.admission_check(self.admission, self.inflight, tenant,
+                                    priority=priority,
+                                    deadline=payload.get("deadline"))
+        elif self.admission is not None:
             self.admission.check(
                 self.inflight,
-                priority=payload.get("priority", INTERACTIVE),
+                priority=priority,
                 deadline=payload.get("deadline"),
             )
         t_accept = self.env.now
@@ -194,7 +213,11 @@ class Gateway:
         if self.inflight > self.inflight_peak:
             self.inflight_peak = self.inflight
         self._record_queue_gauge()
+        if hub is not None:
+            hub.on_admit(tenant)
         try:
+            if hub is not None:
+                yield from hub.acquire_dispatch(tenant)
             reply = yield from self._dispatch(payload)
         except BaseException as exc:
             if self.admission is not None and is_overload(exc):
@@ -205,6 +228,8 @@ class Gateway:
                 self.admission.on_success(self.env.now - t_accept)
             return reply
         finally:
+            if hub is not None:
+                hub.on_done(tenant)
             self.inflight -= 1
             self._record_queue_gauge()
 
@@ -318,13 +343,16 @@ class Gateway:
         book_id: Optional[int] = None,
         baggage: Optional[dict] = None,
         parent_id: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> Generator:
         """Invoke a function from ``src_node`` (internal fast path).
 
         Nightcore routes internal (function-to-function) calls through the
         local engine rather than back to the gateway; we model that by
         scheduling here and sending directly src -> function node.
-        Returns ``(result, child_baggage)``.
+        Returns ``(result, child_baggage)``. A ``tenant`` label is
+        inherited by the child (internal calls bypass gateway admission,
+        so the label here is lineage, not a second QoS check).
         """
         if fn_name not in self._functions:
             raise FunctionNotFoundError(fn_name)
@@ -337,6 +365,8 @@ class Gateway:
             "invocation_id": self._new_invocation_id(),
             "deadline": self.env.now + INVOKE_TIMEOUT,
         }
+        if tenant is not None:
+            payload["tenant"] = tenant
         fnode = self.pick_node(fn_name, book_id)
         try:
             reply = yield self.net.rpc(
@@ -355,6 +385,7 @@ class Gateway:
         timeout: Optional[float] = None,
         policy: Optional[RetryPolicy] = None,
         priority: str = INTERACTIVE,
+        tenant: Optional[str] = None,
     ) -> Generator:
         """Client entry point: client -> gateway -> function node.
 
@@ -371,7 +402,9 @@ class Gateway:
         invocations that log their effects stay exactly-once.
         ``priority`` tags the request's admission class
         (``"interactive"`` default, ``"batch"`` sheds first under
-        overload).
+        overload). ``tenant`` labels the request for per-tenant QoS —
+        only meaningful (and only added to the payload) with tenancy
+        enabled, so tenancy-off payloads stay byte-identical.
         """
         if policy is None and self.resil is not None:
             policy = self.invoke_policy
@@ -381,6 +414,8 @@ class Gateway:
             "invocation_id": self._new_invocation_id(),
             "priority": priority,
         }
+        if tenant is not None:
+            payload["tenant"] = tenant
         attempt = 0
         if policy is not None and self.resil is not None:
             self.resil.budget.on_attempt()

@@ -92,6 +92,7 @@ class FunctionNode:
                 book_id=payload.get("book_id"),
                 baggage=payload.get("baggage"),
                 parent_id=payload.get("parent_id"),
+                tenant=payload.get("tenant"),
             )
             self.invocations += 1
             result = yield self.env.process(
@@ -101,7 +102,8 @@ class FunctionNode:
             self.workers.release(req)
         return {"result": result, "baggage": ctx.baggage}
 
-    def _child_invoke(self, src_node, fn_name, arg, book_id, baggage, parent_id) -> Generator:
+    def _child_invoke(self, src_node, fn_name, arg, book_id, baggage,
+                      parent_id, tenant=None) -> Generator:
         if self._gateway_invoke is None:
             raise RuntimeError(f"function node {self.name} has no gateway bound")
         return (
@@ -112,5 +114,6 @@ class FunctionNode:
                 book_id=book_id,
                 baggage=baggage,
                 parent_id=parent_id,
+                tenant=tenant,
             )
         )

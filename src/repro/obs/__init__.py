@@ -73,6 +73,7 @@ from repro.obs.export import (
     attribution_report,
     monitor_instants,
     queue_counters,
+    tenant_counters,
     self_times,
     slowest_trace,
     to_chrome_trace,
@@ -127,6 +128,7 @@ __all__ = [
     "load_artifact",
     "monitor_instants",
     "queue_counters",
+    "tenant_counters",
     "registry_from_cluster",
     "render_flight_record",
     "self_times",

@@ -50,6 +50,7 @@ FAST_SUBSET = (
     "benchmarks/test_fig11c_primitives.py",
     "benchmarks/test_elasticity_autoscale.py",
     "benchmarks/test_overload_goodput.py",
+    "benchmarks/test_tenant_isolation.py",
 )
 
 DEFAULT_ARTIFACT_DIR = "bench/artifacts"

@@ -120,6 +120,39 @@ def queue_counters(registry) -> List[dict]:
     return events
 
 
+def tenant_counters(registry) -> List[dict]:
+    """Chrome counter events (``ph: "C"``) from the ``tenant.*`` gauges'
+    samples (``tenant.<id>.rps``, ``tenant.<id>.shed_rate`` — recorded by
+    the :class:`~repro.tenant.TenancyHub` on every labelled arrival/shed).
+
+    Each tenant's arrival and shed rates render as their own counter
+    lanes in the pid-0 monitor process, so a noisy neighbor's flood — and
+    which tenant absorbed the sheds — is visible alongside the causal
+    span timeline. Pass to :func:`to_chrome_trace` via ``counters=``
+    (concatenation with :func:`queue_counters` is fine; the viewer keys
+    lanes by name).
+    """
+    events: List[dict] = []
+    for name in registry.names("tenant."):
+        samples = getattr(registry.get(name), "samples", None)
+        if not samples:
+            continue
+        for t, value in samples:
+            events.append(
+                {
+                    "args": {"value": value},
+                    "cat": "tenant",
+                    "name": name,
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": round(t * _US, 3),
+                }
+            )
+    events.sort(key=lambda e: (e["ts"], e["name"]))
+    return events
+
+
 def to_chrome_trace(
     spans: Iterable[Span],
     trace_id: Optional[int] = None,

@@ -497,6 +497,9 @@ class FreshnessMonitor:
         self.max_age = max_age
         self._inflight: Dict[Tuple[str, int], float] = {}
         self.per_shard: Dict[str, SampleWindow] = {}
+        #: Per-tenant freshness windows (repro.tenant feeds these via
+        #: :meth:`observe_tenant`); empty unless tenancy is in use.
+        self.per_tenant: Dict[str, SampleWindow] = {}
         self.overall = SampleWindow()
         self.aborted = 0
 
@@ -529,9 +532,18 @@ class FreshnessMonitor:
         if self._inflight.pop((shard, local_id), None) is not None:
             self.aborted += 1
 
+    def observe_tenant(self, tenant: str, t: float, lag: float) -> None:
+        """Record one tenant-attributed freshness sample (the tenancy hub
+        forwards workload-measured append->readable lags here, so
+        per-tenant freshness SLOs can be checked from one place)."""
+        window = self.per_tenant.get(tenant)
+        if window is None:
+            window = self.per_tenant[tenant] = SampleWindow()
+        window.record(t, lag)
+
     def summary(self) -> dict:
         stats = self.overall.stats()
-        return {
+        doc = {
             "appends": self.checked,
             "aborted": self.aborted,
             "mean_s": round(stats["mean"], 9) if stats["count"] else None,
@@ -542,6 +554,20 @@ class FreshnessMonitor:
             ),
             "shards": len(self.per_shard),
         }
+        if self.per_tenant:
+            # Key present only when tenancy fed samples: historical
+            # (single-tenant) summaries stay byte-identical.
+            tenants = {}
+            for tenant in sorted(self.per_tenant):
+                window = self.per_tenant[tenant]
+                tstats = window.stats()
+                tenants[tenant] = {
+                    "samples": tstats["count"],
+                    "p99_s": (round(window.quantile(0.99), 9)
+                              if tstats["count"] else None),
+                }
+            doc["tenants"] = tenants
+        return doc
 
     def result(self) -> MonitorResult:
         return MonitorResult(self.name, list(self.violations), self.checked)

@@ -263,4 +263,16 @@ def registry_from_cluster(cluster, registry: Optional[MetricsRegistry] = None) -
         reg.gauge(f"{prefix}.sealed_replicas").set(
             sum(1 for r in node.replicas.values() if r.sealed)
         )
+    # Per-tenant counters (repro.tenant): admitted/shed totals per tenant
+    # under stable names; the windowed rps/shed_rate *time series* live in
+    # the live obs registry (tenant.<id>.rps samples), recorded by the
+    # hub as traffic arrives.
+    tenancy = getattr(cluster, "tenancy", None)
+    if tenancy is not None:
+        for tenant, stats in tenancy.fairness_snapshot()["tenants"].items():
+            prefix = f"tenant.{tenant}"
+            reg.gauge(f"{prefix}.admitted").set(stats["admitted"])
+            reg.gauge(f"{prefix}.shed").set(stats["shed"])
+            reg.gauge(f"{prefix}.throttled").set(stats["throttled"])
+            reg.gauge(f"{prefix}.inflight_peak").set(stats["inflight_peak"])
     return reg

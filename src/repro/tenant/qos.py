@@ -1,0 +1,70 @@
+"""Per-tenant QoS primitives: the deterministic token bucket and the
+typed throttle error.
+
+The bucket is lazy-refill arithmetic over virtual time — no kernel
+events, no RNG — so an unconfigured or under-rate tenant never perturbs
+the simulation (the same transparency discipline as ``repro.admission``).
+A throttle is an :class:`~repro.admission.errors.Overloaded` subclass:
+the request was never executed, so ``repro.resil`` retries it without
+charging the retry budget, floors its backoff on the bucket's
+``retry_after`` hint, and leaves circuit breakers untouched.
+"""
+
+from __future__ import annotations
+
+from repro.admission.errors import INTERACTIVE, Overloaded
+
+
+class TenantThrottled(Overloaded):
+    """A request shed by its own tenant's rate limit at the gateway."""
+
+    def __init__(self, tenant: str, retry_after: float,
+                 priority: str = INTERACTIVE):
+        super().__init__(f"tenant.{tenant}", "rate-limit",
+                         retry_after=retry_after, priority=priority)
+        self.tenant = tenant
+
+
+class TokenBucket:
+    """Deterministic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    :meth:`try_take` refills lazily from the elapsed virtual time and
+    either takes one token (returns 0.0) or returns the positive
+    retry-after until the next token accrues. Plain arithmetic — the
+    decision consumes no randomness and schedules nothing.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last", "taken", "throttled")
+
+    def __init__(self, rate: float, burst: float = 1.0, t0: float = 0.0):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.last = t0
+        self.taken = 0
+        self.throttled = 0
+
+    def try_take(self, now: float) -> float:
+        """Take one token if available; returns 0.0 on success or the
+        retry-after (seconds until one token accrues) on throttle."""
+        if now > self.last:
+            self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
+            self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.taken += 1
+            return 0.0
+        self.throttled += 1
+        return (1.0 - self.tokens) / self.rate
+
+    def snapshot(self) -> dict:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "taken": self.taken,
+            "throttled": self.throttled,
+        }

@@ -13,4 +13,7 @@
   BokiStore or MongoDB (§7.3, §7.5).
 - :mod:`repro.workloads.queueing` — producer/consumer message-queue
   workload over BokiQueue, SQS, or Pulsar (§7.4).
+- :mod:`repro.workloads.social` — multi-tenant session analytics over a
+  Zipfian tenant population (~1M simulated users): the ``repro.tenant``
+  flagship, including the noisy-neighbor isolation setup.
 """

@@ -1,0 +1,306 @@
+"""Multi-tenant session analytics: the ``repro.tenant`` flagship workload.
+
+Models a social-analytics SaaS hosting many customer apps (tenants) on one
+Boki deployment — the setting §3 designs log spaces for. Tenant sizes are
+Zipfian (a few whale apps, a long tail) over a simulated population of
+~1M users by default. Each tenant's users generate *sessions*:
+
+- ``session.ingest`` — a session tick appends a burst of activity events
+  to the user's session book (tagged by user), then reads its own tail
+  back — the append->readable lag is the tenant's *freshness* sample,
+  fed to the per-tenant freshness SLO windows.
+- ``session.report`` — an analytics query: fans out child invocations
+  (``session.scan``, inheriting the tenant label) that each replay a
+  user's event log, then aggregates the counts.
+
+Every tenant addresses the *same raw book ids and tags* — log-space
+scoping is what keeps them isolated, and the workload asserts it: every
+event is stamped with its writer's tenant, and any cross-tenant record
+surfacing in a scan is counted as a leak (must stay zero).
+
+The module also provides the noisy-neighbor setup used by the isolation
+benchmark and chaos scenario: a small interactive *victim* tenant sharing
+the cluster with a batch-flooding *aggressor*.
+
+Determinism: all sampling comes from named cluster streams; tenant sizes
+are analytic (no RNG), so a population is a pure function of its
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.workloads.harness import RunResult, ZipfianSampler, run_shaped_open_loop
+from repro.sim.metrics import LatencyRecorder
+
+#: Raw (pre-scoping) book id base for session books. Every tenant uses
+#: the same raw ids — isolation comes from log spaces, not id hygiene.
+SESSION_BOOK_BASE = 9000
+#: Session books per tenant (users hash onto them).
+SESSION_BOOKS = 4
+#: Events appended per session tick.
+EVENTS_PER_TICK = 2
+#: Child scans fanned out per report query.
+REPORT_FANOUT = 2
+#: Fraction of requests that are analytics reports (rest are ingests).
+REPORT_SHARE = 0.2
+
+
+@dataclass
+class TenantSpec:
+    """One tenant of the population: size and QoS."""
+
+    name: str
+    users: int
+    weight: float = 1.0
+    rate: Optional[float] = None
+    burst: float = 1.0
+    pinned: bool = False
+
+
+@dataclass
+class TenantOutcome:
+    """Per-tenant measurement of one run."""
+
+    ok: int = 0
+    errors: int = 0
+    shed: int = 0
+    latencies: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("tenant")
+    )
+    #: Cross-tenant records observed by this tenant's scans — the
+    #: isolation invariant is that this stays zero.
+    leaks: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ok": self.ok, "errors": self.errors, "shed": self.shed,
+            "leaks": self.leaks,
+        }
+        if self.latencies.count:
+            out["median_s"] = self.latencies.median()
+            out["p99_s"] = self.latencies.p99()
+        return out
+
+
+def zipfian_tenant_sizes(num_tenants: int, total_users: int,
+                         theta: float = 0.99) -> List[int]:
+    """Analytic Zipfian split of ``total_users`` across ``num_tenants``
+    (rank-1 tenant largest); sizes sum exactly to ``total_users``."""
+    if num_tenants < 1 or total_users < num_tenants:
+        raise ValueError("need >= 1 tenant and >= 1 user per tenant")
+    weights = [1.0 / ((i + 1) ** theta) for i in range(num_tenants)]
+    total_weight = sum(weights)
+    sizes = [max(1, int(total_users * w / total_weight)) for w in weights]
+    sizes[0] += total_users - sum(sizes)  # rounding drift -> the whale
+    return sizes
+
+
+def build_population(
+    cluster,
+    num_tenants: int = 8,
+    total_users: int = 1_000_000,
+    theta: float = 0.99,
+    pin_top: int = 0,
+    rate_caps: Optional[Dict[str, float]] = None,
+) -> List[TenantSpec]:
+    """Enable tenancy and register a Zipfian tenant population.
+
+    Tenant ``app-0`` is the whale. QoS weights are proportional to the
+    *square root* of population (big tenants get more share, but not
+    linearly — the classic fair-share compromise); the top ``pin_top``
+    tenants are pinned to dedicated engines. ``rate_caps`` optionally
+    adds token-bucket limits per tenant name.
+    """
+    hub = cluster.enable_tenancy()
+    sizes = zipfian_tenant_sizes(num_tenants, total_users, theta)
+    specs: List[TenantSpec] = []
+    base = sizes[-1] ** 0.5
+    for i, users in enumerate(sizes):
+        name = f"app-{i}"
+        spec = TenantSpec(
+            name=name,
+            users=users,
+            weight=round((users ** 0.5) / base, 6),
+            rate=(rate_caps or {}).get(name),
+            pinned=i < pin_top,
+        )
+        specs.append(spec)
+        hub.registry.register(
+            name, weight=spec.weight, rate=spec.rate,
+            burst=spec.burst if spec.rate is None else max(spec.burst, 1.0),
+            pinned=spec.pinned, users=spec.users,
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# The functions (deployed once, shared by every tenant)
+# ----------------------------------------------------------------------
+def _user_tag(user: int) -> int:
+    # Raw tag: stays within the 64-bit raw space; scoping namespaces it.
+    return 1 + (user % 1_000_003)
+
+
+def _user_book(user: int) -> int:
+    return SESSION_BOOK_BASE + (user % SESSION_BOOKS)
+
+
+def register_functions(cluster) -> None:
+    """Deploy ``session.ingest`` / ``session.report`` / ``session.scan``."""
+
+    def ingest(ctx, arg) -> Generator:
+        book = cluster.logbook_for(ctx)
+        user = arg["user"]
+        tag = _user_tag(user)
+        t0 = cluster.env.now
+        seqnum = None
+        for k in range(arg.get("events", EVENTS_PER_TICK)):
+            seqnum = yield from book.append(
+                {"user": user, "k": k, "tenant": ctx.tenant or "default",
+                 "t": round(t0, 9)},
+                tags=[tag],
+            )
+        # Read our own tail back: append->readable round trip = the
+        # tenant's freshness sample (read-your-writes makes it visible).
+        record = yield from book.read_prev(tag=tag)
+        lag = cluster.env.now - t0
+        if cluster.tenancy is not None and ctx.tenant is not None:
+            cluster.tenancy.observe_freshness(ctx.tenant, cluster.env.now, lag)
+        return {"seqnum": seqnum, "visible": record is not None, "lag": lag}
+
+    def scan(ctx, arg) -> Generator:
+        book = cluster.logbook_for(ctx)
+        records = yield from book.read_range(tag=_user_tag(arg["user"]))
+        me = ctx.tenant or "default"
+        leaks = sum(1 for r in records if r.data.get("tenant") != me)
+        return {"events": len(records), "leaks": leaks}
+
+    def report(ctx, arg) -> Generator:
+        # Fan out per-user scans (children inherit the tenant label and
+        # therefore the log space), then aggregate.
+        events = 0
+        leaks = 0
+        for user in arg["users"][:REPORT_FANOUT]:
+            sub = yield from ctx.invoke(
+                "session.scan", {"user": user}, book_id=ctx.book_id
+            )
+            events += sub["events"]
+            leaks += sub["leaks"]
+        return {"events": events, "leaks": leaks, "users": len(arg["users"])}
+
+    cluster.register_function("session.ingest", ingest)
+    cluster.register_function("session.scan", scan)
+    cluster.register_function("session.report", report)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+class SocialWorkload:
+    """Open-loop request factory over a tenant population.
+
+    Each request picks a tenant (weighted by population), a user within
+    it (per-tenant Zipfian: every app has its own power users), and an
+    op (ingest or report). Results accumulate per tenant.
+    """
+
+    def __init__(self, cluster, specs: List[TenantSpec],
+                 stream: str = "social"):
+        self.cluster = cluster
+        self.specs = specs
+        self.rng = cluster.streams.stream(stream)
+        self._tenant_weights = [s.users for s in specs]
+        self._total = sum(self._tenant_weights)
+        self._user_samplers = {
+            s.name: ZipfianSampler(min(s.users, 100_000)) for s in specs
+        }
+        self.outcomes: Dict[str, TenantOutcome] = {
+            s.name: TenantOutcome() for s in specs
+        }
+
+    def _pick_tenant(self) -> TenantSpec:
+        x = self.rng.random() * self._total
+        acc = 0.0
+        for spec, w in zip(self.specs, self._tenant_weights):
+            acc += w
+            if x < acc:
+                return spec
+        return self.specs[-1]
+
+    def make_op(self, i: int) -> Generator:
+        spec = self._pick_tenant()
+        sampler = self._user_samplers[spec.name]
+        user = sampler.sample(self.rng)
+        if self.rng.random() < REPORT_SHARE:
+            users = [user] + [
+                sampler.sample(self.rng) for _ in range(REPORT_FANOUT - 1)
+            ]
+            fn, arg = "session.report", {"users": users}
+        else:
+            fn, arg = "session.ingest", {"user": user}
+        return self._run_one(spec, fn, arg, _user_book(user))
+
+    def _run_one(self, spec: TenantSpec, fn: str, arg: dict,
+                 book_id: int) -> Generator:
+        outcome = self.outcomes[spec.name]
+        t0 = self.cluster.env.now
+        try:
+            result = yield from self.cluster.invoke(
+                fn, arg, book_id=book_id, tenant=spec.name
+            )
+        except Exception as exc:  # noqa: BLE001 - classify, re-raise
+            if getattr(exc, "is_overload", False) or _overload_in_chain(exc):
+                outcome.shed += 1
+            else:
+                outcome.errors += 1
+            raise
+        outcome.ok += 1
+        outcome.latencies.record(self.cluster.env.now - t0)
+        outcome.leaks += result.get("leaks", 0) if isinstance(result, dict) else 0
+        return result
+
+    def per_tenant_summary(self) -> Dict[str, Dict[str, Any]]:
+        return {name: o.summary() for name, o in sorted(self.outcomes.items())}
+
+    def total_leaks(self) -> int:
+        return sum(o.leaks for o in self.outcomes.values())
+
+
+def _overload_in_chain(exc: BaseException) -> bool:
+    from repro.admission.errors import is_overload
+
+    return is_overload(exc)
+
+
+def run_social(
+    cluster,
+    specs: List[TenantSpec],
+    shape,
+    duration: float,
+    warmup: float = 0.0,
+    max_in_flight: int = 10_000,
+) -> "SocialRun":
+    """Drive the population through a shaped open-loop run; returns the
+    aggregate :class:`RunResult` plus per-tenant outcomes."""
+    workload = SocialWorkload(cluster, specs)
+    result = run_shaped_open_loop(
+        cluster.env, workload.make_op, shape, duration,
+        cluster.streams.stream("social-arrivals"),
+        warmup=warmup, max_in_flight=max_in_flight,
+    )
+    return SocialRun(result=result, workload=workload)
+
+
+@dataclass
+class SocialRun:
+    result: RunResult
+    workload: SocialWorkload
+
+    def per_tenant(self) -> Dict[str, Dict[str, Any]]:
+        return self.workload.per_tenant_summary()
+
+    def leaks(self) -> int:
+        return self.workload.total_leaks()

@@ -35,6 +35,7 @@ def _doc(name, seed=0):
 def test_catalog_lists_the_admission_suite():
     names = admission_scenarios()
     assert names == [
+        "noisy-neighbor-batch-flood",
         "retry-storm-metastable",
         "retry-storm-metastable-noadmission",
         "split-brain-controller-during-scale-out",

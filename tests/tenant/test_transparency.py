@@ -1,0 +1,105 @@
+"""Tenancy observes, never perturbs unlabelled traffic.
+
+Mirrors the admission layer's transparency suite: a run that never
+enables tenancy and a run that enables it but labels nothing must be
+byte-identical (virtual clock, message count, operation history) and
+leave every RNG stream untouched. This is the invariant that makes
+``enable_tenancy()`` safe to leave on: unlabelled invocations resolve
+to the implicit default tenant — identity log space, no rate bucket,
+no DRR queue — so the hub attributes the traffic without perturbing it.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.history import History
+from repro.chaos.scenarios import (
+    _drive_all,
+    _gateway_store_clients,
+    _register_store_fn,
+)
+from repro.core.cluster import BokiCluster
+
+pytestmark = [pytest.mark.chaos, pytest.mark.tenant]
+
+
+def _run(tenancy, labelled=False, seed=5):
+    """Identical fault-free gateway store workload; returns the cluster
+    and a comparable fingerprint of the whole run."""
+    cluster = BokiCluster(
+        num_function_nodes=2, num_storage_nodes=3,
+        num_sequencer_nodes=3, seed=seed,
+    )
+    if tenancy:
+        hub = cluster.enable_tenancy()
+        if labelled:
+            hub.registry.register("acme")
+    cluster.boot()
+    history = History(cluster.env)
+    _register_store_fn(cluster)
+    procs = _gateway_store_clients(cluster, history, num_clients=2,
+                                   ops_per_client=10)
+    _drive_all(cluster, procs, limit=300.0)
+    fingerprint = json.dumps({
+        "now": round(cluster.env.now, 9),
+        "messages_sent": cluster.net.messages_sent,
+        "history": history.to_dicts(),
+    }, sort_keys=True)
+    return cluster, fingerprint
+
+
+def test_tenancy_invisible_to_an_unlabelled_run():
+    _, plain = _run(tenancy=False)
+    enabled_cluster, enabled = _run(tenancy=True)
+    assert plain == enabled
+    # The hub attributed every op to the implicit default tenant (not a
+    # vacuous pass) and perturbed none of it: no bucket, no sheds.
+    hub = enabled_cluster.tenancy
+    assert hub is not None
+    snap = hub.fairness_snapshot()["tenants"]
+    assert set(snap) == {"default"}
+    assert snap["default"]["admitted"] == 20
+    assert snap["default"]["bucket"] is None
+    assert hub.total_shed() == 0
+
+
+def test_registered_but_idle_tenants_change_nothing():
+    """Registering tenants nobody uses must also be a no-op: log-space
+    assignment is bookkeeping until a labelled invocation arrives."""
+    _, plain = _run(tenancy=False)
+    _, enabled = _run(tenancy=True, labelled=True)
+    assert plain == enabled
+
+
+def test_tenancy_consumes_no_rng():
+    """Same streams created, every stream's state identical — scoping is
+    arithmetic and QoS state is built lazily, never from draws."""
+    states = []
+    for tenancy in (False, True):
+        cluster, _ = _run(tenancy=tenancy)
+        states.append({
+            name: rng.getstate()
+            for name, rng in cluster.streams._streams.items()
+        })
+    assert sorted(states[0]) == sorted(states[1])
+    for name in states[0]:
+        assert states[0][name] == states[1][name], f"stream {name} diverged"
+
+
+def test_labelled_traffic_is_actually_counted():
+    """Sanity against a vacuous transparency pass: the moment traffic is
+    labelled, the hub sees it."""
+    cluster, _ = _run(tenancy=True, labelled=True)
+    hub = cluster.tenancy
+
+    def burst():
+        result = yield from cluster.invoke(
+            "store-op", {"op": "put", "key": "k", "value": {"v": 1}},
+            book_id=2, tenant="acme")
+        return result
+
+    cluster.drive(burst())
+    snap = hub.fairness_snapshot()["tenants"]["acme"]
+    assert snap["admitted"] == 1
+    assert snap["shed"] == 0
